@@ -1,0 +1,52 @@
+"""Extension benchmark: Chimera-style DAG makespan per discipline.
+
+Not one of the paper's figures — it is the workload the paper's §5
+motivates scenario 1 with ("systems such as Chimera, which manage large
+trees of dependent tasks, dispatching new jobs as old ones complete").
+The layer boundaries produce correlated submission bursts past the
+schedd's FD cliff; makespan is the price of each discipline.
+"""
+
+from conftest import save_report
+
+from repro.clients.base import ALOHA, ETHERNET, FIXED
+from repro.experiments.report import render_table
+from repro.experiments.scenario_dag import DagParams, run_dag_scenario
+
+#: Burst of 6 x 70 = 420 simultaneous submissions, above the ~365 cliff.
+PARAMS = dict(n_users=6, layers=2, width=70, max_inflight=70)
+HORIZON = 900.0
+
+
+def bench_dag_makespan(benchmark, report_dir):
+    def run_all():
+        return {
+            d.name: run_dag_scenario(
+                DagParams(discipline=d, horizon=HORIZON, **PARAMS)
+            )
+            for d in (ETHERNET, ALOHA, FIXED)
+        }
+
+    results = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    rows = [
+        [name, f"{r.makespan:.0f}", r.all_finished,
+         f"{r.tasks_done}/{r.tasks_total}", r.submissions_attempted, r.crashes]
+        for name, r in results.items()
+    ]
+    text = render_table(
+        ["discipline", "makespan_s", "finished", "tasks", "attempts", "crashes"],
+        rows,
+    )
+    save_report(report_dir, "dag_makespan", text)
+    print("\n" + text)
+
+    # Backoff disciplines finish the workflow; fixed never does.
+    assert results["ethernet"].all_finished
+    assert results["aloha"].all_finished
+    assert not results["fixed"].all_finished
+    assert results["fixed"].tasks_done < 0.25 * results["fixed"].tasks_total
+    # Fixed burns far more submission attempts for far less work.
+    assert (
+        results["fixed"].submissions_attempted
+        > results["ethernet"].submissions_attempted
+    )

@@ -1,0 +1,37 @@
+"""Figure 1 — Scalability of Job Submission (sweep over submitter counts).
+
+Regenerates the paper's throughput-vs-submitters curves for all three
+disciplines and checks the headline shapes: fixed collapses past its
+cliff, Aloha degrades but survives, Ethernet holds roughly half of peak.
+"""
+
+from conftest import save_report
+
+from repro.experiments.figure1 import render, run_figure1
+
+#: Benchmark-scale sweep: brackets the fixed client's cliff (~375).
+COUNTS = (50, 150, 300, 400, 450)
+DURATION = 120.0
+
+
+def bench_figure1_submission_sweep(benchmark, report_dir):
+    result = benchmark.pedantic(
+        run_figure1,
+        kwargs=dict(counts=COUNTS, duration=DURATION),
+        iterations=1,
+        rounds=1,
+    )
+    text = render(result)
+    save_report(report_dir, "figure1", text)
+    print("\n" + text)
+
+    jobs = result.jobs
+    # Shape: fixed dies above the cliff...
+    assert jobs["fixed"][-1] <= 0.1 * max(jobs["fixed"])
+    # ...aloha survives but below ethernet...
+    assert 0 < jobs["aloha"][-1] <= jobs["ethernet"][-1]
+    # ...ethernet keeps a large fraction of its peak.
+    assert jobs["ethernet"][-1] >= 0.35 * max(jobs["ethernet"])
+    # No discipline beats the schedd's uncontended peak by magic.
+    peak = max(max(row) for row in jobs.values())
+    assert jobs["ethernet"][-1] <= peak

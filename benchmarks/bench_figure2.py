@@ -1,0 +1,31 @@
+"""Figure 2 — Timeline of Aloha Submitter (400 clients, FD exhaustion,
+schedd crash spikes)."""
+
+from conftest import save_report
+
+from repro.experiments.figure2 import render, run_figure2
+
+N_CLIENTS = 400
+DURATION = 900.0
+
+
+def bench_figure2_aloha_timeline(benchmark, report_dir):
+    result = benchmark.pedantic(
+        run_figure2,
+        kwargs=dict(n_clients=N_CLIENTS, duration=DURATION),
+        iterations=1,
+        rounds=1,
+    )
+    text = render(result)
+    save_report(report_dir, "figure2", text)
+    print("\n" + text)
+
+    fd = result.fd_series
+    capacity = result.run.params.condor.fd_capacity
+    # The initial burst consumes nearly the whole table...
+    assert fd.minimum() < 0.1 * capacity
+    # ...and schedd crashes spring it back up (broadcast jam spikes).
+    assert result.run.crashes >= 2
+    assert fd.maximum() >= 0.9 * capacity
+    # Jobs keep creeping upward regardless.
+    assert result.jobs_series.last > 0

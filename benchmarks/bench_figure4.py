@@ -1,0 +1,29 @@
+"""Figure 4 — Buffer Throughput (files consumed vs producer count)."""
+
+from conftest import save_report
+
+from repro.experiments.figure4 import render_figure4, run_buffer_sweep
+
+COUNTS = (5, 15, 30, 50)
+DURATION = 60.0
+
+
+def bench_figure4_buffer_throughput(benchmark, report_dir):
+    result = benchmark.pedantic(
+        run_buffer_sweep,
+        kwargs=dict(counts=COUNTS, duration=DURATION),
+        iterations=1,
+        rounds=1,
+    )
+    text = render_figure4(result)
+    save_report(report_dir, "figure4", text)
+    print("\n" + text)
+
+    consumed = result.consumed
+    # Ethernet "scales acceptably, falling off only slightly": its worst
+    # point stays within half of its best.
+    assert min(consumed["ethernet"]) >= 0.5 * max(consumed["ethernet"])
+    # Fixed does not scale: heavy load costs it most of its throughput.
+    assert consumed["fixed"][-1] <= 0.5 * max(consumed["fixed"])
+    # Ordering under heavy load: ethernet >= aloha >= fixed.
+    assert consumed["ethernet"][-1] >= consumed["aloha"][-1] >= consumed["fixed"][-1]

@@ -1,0 +1,27 @@
+"""Figure 5 — Buffer Collisions (failed writes vs producer count)."""
+
+from conftest import save_report
+
+from repro.experiments.figure4 import render_figure5, run_buffer_sweep
+
+COUNTS = (5, 15, 30, 50)
+DURATION = 60.0
+
+
+def bench_figure5_buffer_collisions(benchmark, report_dir):
+    result = benchmark.pedantic(
+        run_buffer_sweep,
+        kwargs=dict(counts=COUNTS, duration=DURATION),
+        iterations=1,
+        rounds=1,
+    )
+    text = render_figure5(result)
+    save_report(report_dir, "figure5", text)
+    print("\n" + text)
+
+    collisions = result.collisions
+    # Collision ordering at heavy load: fixed >> aloha >= ethernet.
+    assert collisions["fixed"][-1] > 5 * collisions["aloha"][-1]
+    assert collisions["aloha"][-1] >= collisions["ethernet"][-1]
+    # Collisions grow with offered load for the blind disciplines.
+    assert collisions["fixed"][-1] > collisions["fixed"][0]

@@ -1,0 +1,29 @@
+"""Figure 6 — Aloha File Reader (black-hole stalls cost 60 s each)."""
+
+from conftest import save_report
+
+from repro.experiments.figure6 import render, run_figure6
+
+DURATION = 900.0
+
+
+def bench_figure6_aloha_reader(benchmark, report_dir):
+    result = benchmark.pedantic(
+        run_figure6,
+        kwargs=dict(duration=DURATION),
+        iterations=1,
+        rounds=1,
+    )
+    text = render(result)
+    save_report(report_dir, "figure6", text)
+    print("\n" + text)
+
+    run = result.run
+    # Aloha clients repeatedly fall on the black hole and wait the full
+    # sixty seconds (the collisions line of the figure).
+    assert run.collisions >= 10
+    assert run.transfers > 0
+    # No probes exist in the aloha script, so no deferrals.
+    assert run.deferrals == 0
+    # Time lost to collisions is real: 60 s each out of 3 client-lifetimes.
+    assert run.collisions * 60.0 <= 3 * DURATION

@@ -1,0 +1,28 @@
+"""Figure 7 — Ethernet File Reader (probes turn stalls into deferrals)."""
+
+from conftest import save_report
+
+from repro.experiments.figure6 import render, run_figure6
+from repro.experiments.figure7 import run_figure7
+
+DURATION = 900.0
+
+
+def bench_figure7_ethernet_reader(benchmark, report_dir):
+    result = benchmark.pedantic(
+        run_figure7,
+        kwargs=dict(duration=DURATION),
+        iterations=1,
+        rounds=1,
+    )
+    text = render(result)
+    save_report(report_dir, "figure7", text)
+    print("\n" + text)
+
+    ethernet = result.run
+    # "The Ethernet clients are much more effective and suffer from no
+    # such hiccups": compare against the Figure 6 run directly.
+    aloha = run_figure6(duration=DURATION).run
+    assert ethernet.transfers > aloha.transfers
+    assert ethernet.collisions <= 2
+    assert ethernet.deferrals > 0

@@ -1,0 +1,51 @@
+"""Extension benchmark: end-to-end Kangaroo delivery per discipline.
+
+The paper's Figure 4 measures local buffer throughput; this bench
+measures what the user actually wanted — megabytes landed at the remote
+archive across a failing WAN — and shows the fixed discipline's thrash
+starving even the uploader's local reads.
+"""
+
+from conftest import save_report
+
+from repro.clients.base import ALL_DISCIPLINES
+from repro.experiments.report import render_table
+from repro.experiments.scenario_kangaroo import KangarooParams, run_kangaroo
+
+N_PRODUCERS = 25
+DURATION = 300.0
+
+
+def bench_kangaroo_pipeline(benchmark, report_dir):
+    def run_all():
+        return {
+            d.name: run_kangaroo(
+                KangarooParams(discipline=d, n_producers=N_PRODUCERS,
+                               duration=DURATION)
+            )
+            for d in ALL_DISCIPLINES
+        }
+
+    results = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    rows = [
+        [name, f"{r.mb_delivered:.1f}", r.files_delivered, r.collisions,
+         r.wan_outages, r.upload_failures, f"{r.backlog_mb:.1f}"]
+        for name, r in results.items()
+    ]
+    text = render_table(
+        ["discipline", "delivered_mb", "files", "collisions", "outages",
+         "upload_fail", "backlog_mb"],
+        rows,
+    )
+    save_report(report_dir, "kangaroo", text)
+    print("\n" + text)
+
+    fixed, aloha, ethernet = (
+        results["fixed"], results["aloha"], results["ethernet"]
+    )
+    # End-to-end delivery: polite disciplines several-fold ahead.
+    assert ethernet.mb_delivered >= aloha.mb_delivered * 0.8
+    assert aloha.mb_delivered > 2 * fixed.mb_delivered
+    # The thrash shows where it belongs: in the collision ledger.
+    assert fixed.collisions > 10 * aloha.collisions >= 10 * 0  # noqa: PLR0133
+    assert aloha.collisions >= ethernet.collisions

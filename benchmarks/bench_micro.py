@@ -1,0 +1,85 @@
+"""Micro-benchmarks for the building blocks (measure before optimizing —
+the hpc-parallel guide's first rule).
+
+These give wall-clock baselines for the parser, the event engine, the
+interpreter round-trip, and the backoff computation, so regressions in
+the hot paths show up as numbers rather than as mysteriously slow
+figure regenerations.
+"""
+
+from repro.clients.base import ETHERNET
+from repro.clients.scripts import reader_script
+from repro.core.backoff import PAPER_POLICY, BackoffState
+from repro.core.parser import parse
+from repro.sim import Engine
+from repro.simruntime import CommandRegistry, SimFtsh
+
+READER_SCRIPT = reader_script(ETHERNET, ("xxx", "yyy", "zzz"))
+
+
+def bench_parse_reader_script(benchmark):
+    """Parser throughput on the paper's most complex listing."""
+    script = benchmark(parse, READER_SCRIPT)
+    assert script.body.body
+
+
+def bench_engine_timeout_churn(benchmark):
+    """Raw event throughput: schedule + dispatch 10k timeouts."""
+
+    def churn():
+        engine = Engine()
+        for _ in range(10_000):
+            engine.timeout(1.0)
+        engine.run()
+        return engine.now
+
+    assert benchmark(churn) == 1.0
+
+
+def bench_engine_process_pingpong(benchmark):
+    """Generator-process switching rate: two processes alternating."""
+
+    def pingpong():
+        engine = Engine()
+
+        def ping():
+            for _ in range(1_000):
+                yield engine.timeout(1.0)
+
+        engine.process(ping())
+        engine.process(ping())
+        engine.run()
+        return engine.now
+
+    assert benchmark(pingpong) == 1000.0
+
+
+def bench_interpreter_roundtrip(benchmark):
+    """Full script execution in virtual time (parse cached)."""
+    script = parse("try 3 times\n  probe\nend")
+
+    def run_once():
+        engine = Engine()
+        registry = CommandRegistry()
+
+        @registry.register("probe")
+        def probe(ctx):
+            yield ctx.engine.timeout(0.1)
+            return 1
+
+        shell = SimFtsh(engine, registry)
+        return shell.run(script)
+
+    result = benchmark(run_once)
+    assert not result.success  # probe always fails; 3 attempts consumed
+
+
+def bench_backoff_schedule(benchmark):
+    """Cost of computing a full 1000-failure backoff schedule."""
+
+    def schedule():
+        state = BackoffState(PAPER_POLICY)
+        return sum(state.next_delay(lambda: 0.5) for _ in range(1_000))
+
+    total = benchmark(schedule)
+    assert total > 0

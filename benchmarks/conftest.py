@@ -1,0 +1,32 @@
+"""Shared configuration for the figure benchmarks.
+
+Each ``bench_figureN.py`` regenerates one figure of the paper at a
+benchmark-friendly scale and prints the same rows/series the paper
+reports (run with ``-s`` to see them, or read the saved reports).
+
+Scales:
+
+* benchmark scale (here): small enough that the whole suite runs in a
+  couple of minutes while still showing every qualitative feature;
+* full scale: ``python -m repro.experiments.runall --scale full``
+  regenerates the figures at the paper's parameters (400-500 clients,
+  30-minute windows) — that is what EXPERIMENTS.md records.
+"""
+
+import os
+
+import pytest
+
+#: Where rendered figure reports are written (one .txt per figure).
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+@pytest.fixture(scope="session")
+def report_dir():
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    return REPORT_DIR
+
+
+def save_report(report_dir: str, name: str, text: str) -> None:
+    with open(os.path.join(report_dir, f"{name}.txt"), "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Scenario 3 demo: black-hole servers and the one-byte probe
+(paper Figures 6-7).
+
+Three clients read a 100 MB file from three single-threaded replicas;
+one replica accepts connections but never sends a byte.  The Aloha
+client pays 60 seconds every time it lands on the hole; the Ethernet
+client spends at most 5 seconds probing a one-byte flag file first.
+
+    python examples/black_hole.py
+"""
+
+from repro.clients.base import ALOHA, ETHERNET
+from repro.experiments import ReplicaParams, run_replica
+
+DURATION = 900.0
+
+
+def main() -> None:
+    print(f"3 clients, servers xxx yyy zzz (zzz is a black hole), "
+          f"{DURATION:.0f}s:\n")
+    print(f"{'discipline':<10} {'transfers':>10} {'collisions':>11} "
+          f"{'deferrals':>10} {'time lost to holes':>19}")
+    for discipline in (ALOHA, ETHERNET):
+        run = run_replica(
+            ReplicaParams(discipline=discipline, duration=DURATION)
+        )
+        lost = run.collisions * 60.0 + run.deferrals * 5.0
+        print(
+            f"{discipline.name:<10} {run.transfers:>10} {run.collisions:>11} "
+            f"{run.deferrals:>10} {lost:>17.0f}s"
+        )
+
+    print(
+        "\nEach Aloha collision is a full 60 s try-window fed to the black\n"
+        "hole.  The Ethernet probe converts those into 5 s deferrals — the\n"
+        "same information for a twelfth of the price, which is why its\n"
+        "cumulative transfer line climbs with 'no such hiccups' (paper §5)."
+    )
+
+
+if __name__ == "__main__":
+    main()

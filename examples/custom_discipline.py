@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Extending the library: your own backoff policy, carrier probe, and
+simulated commands.
+
+Shows the three extension points a downstream user actually touches:
+
+1. a custom :class:`BackoffPolicy` (here: gentler growth, low cap);
+2. a custom carrier-sense threshold for the Ethernet submitter — an
+   ablation of Figure 1's magic constant 1000;
+3. a custom simulated command wired into a scenario.
+
+    python examples/custom_discipline.py
+"""
+
+from repro.clients.base import Discipline, ETHERNET
+from repro.core.backoff import BackoffPolicy
+from repro.experiments import SubmitParams, run_submission
+from repro.sim import Engine
+from repro.simruntime import CommandRegistry, SimFtsh
+
+# ---------------------------------------------------------------------------
+# 1. A custom policy: 0.5 s base, x1.5 growth, 30 s cap.
+# ---------------------------------------------------------------------------
+GENTLE = Discipline(
+    "gentle-ethernet",
+    BackoffPolicy(base=0.5, factor=1.5, ceiling=30.0),
+    carrier_sense=True,
+)
+
+
+def ablate_carrier_threshold() -> None:
+    """How sensitive is Figure 1 to the 1000-FD threshold?"""
+    print("carrier-threshold ablation (400 clients, 120 s):")
+    print(f"{'threshold':>10} {'jobs':>6} {'crashes':>8} {'min free FDs':>13}")
+    for threshold in (250, 1000, 4000, 7500, 8150):
+        run = run_submission(
+            SubmitParams(
+                discipline=ETHERNET,
+                n_clients=400,
+                duration=120.0,
+                carrier_threshold=threshold,
+            )
+        )
+        print(f"{threshold:>10} {run.jobs_submitted:>6} {run.crashes:>8} "
+              f"{int(min(run.fd_series.values)):>13}")
+    print(
+        "Too low a threshold stops protecting the schedd (crashes return).\n"
+        "Raising it admits fewer concurrent connections, which *reduces* the\n"
+        "schedd's CPU-contention slowdown — until admission drops below the\n"
+        "service concurrency and throughput collapses (threshold ~ capacity).\n"
+        "The paper's 1000 sits safely on the protected plateau.\n"
+    )
+
+
+def custom_policy_demo() -> None:
+    """Run a submit loop under the gentler policy."""
+    run = run_submission(
+        SubmitParams(discipline=GENTLE, n_clients=400, duration=120.0)
+    )
+    print(f"gentle-ethernet: jobs={run.jobs_submitted} crashes={run.crashes} "
+          f"backoffs={run.backoffs}\n")
+
+
+def custom_command_demo() -> None:
+    """Wire an entirely new command into a fresh simulated world."""
+    engine = Engine()
+    registry = CommandRegistry()
+    licenses = {"free": 2}
+
+    @registry.register("checkout_license")
+    def checkout_license(ctx):
+        # a contended software license: another unmanaged grid resource
+        if licenses["free"] <= 0:
+            return 1
+        licenses["free"] -= 1
+        yield ctx.engine.timeout(5.0)  # hold it while "running"
+        licenses["free"] += 1
+        return 0
+
+    shells = [
+        SimFtsh(engine, registry, name=f"user-{i}") for i in range(5)
+    ]
+    processes = [
+        shell.spawn("try for 300 seconds\n  checkout_license\nend")
+        for shell in shells
+    ]
+    engine.run(until=engine.all_of(processes))
+    winners = sum(1 for p in processes if p.value.success)
+    print(f"custom-command: {winners}/5 clients eventually got a license "
+          f"(virtual time {engine.now:.1f}s)")
+
+
+if __name__ == "__main__":
+    ablate_carrier_threshold()
+    custom_policy_demo()
+    custom_command_demo()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Chimera-style DAG workflows racing through one schedd (paper §5's
+motivating workload).
+
+Six users each run a 3-layer, 70-wide random DAG.  Completing a layer
+releases the next in a correlated burst of ~420 simultaneous submissions
+— right past the schedd's FD cliff.  The measure is *makespan*: blind
+aggression doesn't just lose throughput here, it never finishes.
+
+    python examples/dag_workflow.py            # aloha + ethernet (~2 s)
+    python examples/dag_workflow.py --fixed    # also run fixed (~1 min;
+                                               # it crash-loops to the horizon)
+"""
+
+import sys
+
+from repro.clients.base import ALOHA, ETHERNET, FIXED
+from repro.experiments.scenario_dag import DagParams, run_dag_scenario
+
+HORIZON = 1800.0
+
+
+def main() -> None:
+    disciplines = [ETHERNET, ALOHA]
+    if "--fixed" in sys.argv[1:]:
+        disciplines.append(FIXED)
+
+    print("6 users x (3 layers x 70 tasks); bursts of ~420 submissions; "
+          f"horizon {HORIZON:.0f}s\n")
+    print(f"{'discipline':<10} {'makespan':>9} {'finished':>9} {'tasks':>11} "
+          f"{'attempts':>9} {'crashes':>8}")
+    for discipline in disciplines:
+        run = run_dag_scenario(
+            DagParams(
+                discipline=discipline,
+                n_users=6,
+                layers=3,
+                width=70,
+                max_inflight=70,
+                horizon=HORIZON,
+            )
+        )
+        print(
+            f"{discipline.name:<10} {run.makespan:>8.0f}s {str(run.all_finished):>9} "
+            f"{run.tasks_done:>5}/{run.tasks_total:<5} "
+            f"{run.submissions_attempted:>9} {run.crashes:>8}"
+        )
+
+    print(
+        "\nThe backoff disciplines absorb each layer's thundering herd and\n"
+        "finish in minutes (even Ethernet may eat one crash: all carrier\n"
+        "probes fire in the same instant the layer completes — carrier\n"
+        "sense has a collision window, just like the real Ethernet).  The\n"
+        "fixed discipline turns every burst into a schedd crash loop and\n"
+        "completes nothing before the horizon."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Scenario 2 demo: producers racing for a 120 MB shared buffer
+(paper Figures 4-5).
+
+Sweeps the producer count for each discipline and prints throughput
+(files drained by the consumer) and collisions (partial files deleted on
+ENOSPC).  The Ethernet producers use the paper's free-space estimator:
+incomplete files are assumed to grow to the average completed size.
+
+    python examples/disk_buffer.py
+"""
+
+from repro.clients.base import ALL_DISCIPLINES
+from repro.experiments import BufferParams, run_buffer
+
+PRODUCER_COUNTS = (5, 20, 50)
+DURATION = 60.0
+
+
+def main() -> None:
+    print(f"{DURATION:.0f}s window; buffer 120 MB; consumer drains 1 MB/s\n")
+    header = f"{'producers':>9}"
+    for discipline in ALL_DISCIPLINES:
+        header += f" | {discipline.name:>8} files  coll"
+    print(header)
+    for count in PRODUCER_COUNTS:
+        row = f"{count:>9}"
+        for discipline in ALL_DISCIPLINES:
+            run = run_buffer(
+                BufferParams(
+                    discipline=discipline,
+                    n_producers=count,
+                    duration=DURATION,
+                )
+            )
+            row += f" | {run.files_consumed:>14} {run.collisions:>5}"
+        print(row)
+
+    print(
+        "\nAt 5 producers everyone is equivalent — the buffer is the\n"
+        "bottleneck only briefly.  Past saturation, fixed producers thrash:\n"
+        "their deleted partial writes burn the file server's bandwidth and\n"
+        "starve the consumer.  The Ethernet estimator defers writers that\n"
+        "would not fit, so almost every admitted write completes and the\n"
+        "consumer stays busy."
+    )
+
+
+if __name__ == "__main__":
+    main()

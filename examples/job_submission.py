@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Scenario 1 demo: 400 submitters vs one schedd (paper Figures 1-3).
+
+Runs the three client disciplines against the simulated Condor schedd
+and prints the contrast the paper reports: the fixed client crash-loops
+the schedd to zero throughput, Aloha hobbles along, Ethernet preserves
+the critical FD floor and keeps the pipeline full.
+
+    python examples/job_submission.py
+"""
+
+from repro.clients.base import ALL_DISCIPLINES
+from repro.experiments import SubmitParams, run_submission
+
+N_CLIENTS = 400
+DURATION = 300.0  # the paper's five-minute window
+
+
+def main() -> None:
+    print(f"{N_CLIENTS} submitters, {DURATION:.0f}s window, per discipline:\n")
+    print(f"{'discipline':<10} {'jobs':>6} {'crashes':>8} {'EMFILE':>8} "
+          f"{'backoffs':>9} {'min free FDs':>13}")
+    for discipline in ALL_DISCIPLINES:
+        run = run_submission(
+            SubmitParams(
+                discipline=discipline,
+                n_clients=N_CLIENTS,
+                duration=DURATION,
+            )
+        )
+        print(
+            f"{discipline.name:<10} {run.jobs_submitted:>6} {run.crashes:>8} "
+            f"{run.emfile_failures:>8} {run.backoffs:>9} "
+            f"{int(min(run.fd_series.values)):>13}"
+        )
+
+    print(
+        "\nReading the rows: the fixed client saturates the FD table, the\n"
+        "schedd cannot allocate its own descriptors and crash-loops (the\n"
+        "paper's 'broadcast jam'), so almost nothing is submitted.  Aloha\n"
+        "backs off after failures, letting the schedd limp between crashes.\n"
+        "Ethernet senses the carrier (free FDs >= 1000) before submitting,\n"
+        "so the schedd never starves and throughput stays near the\n"
+        "service-capacity ceiling."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""The full Kangaroo pipeline: producers -> buffer -> WAN -> archive.
+
+Scenario 2's consumer "transmits [outputs] off to a remote archive in a
+manner similar to that of Kangaroo" (paper §5).  This example runs the
+whole two-hop pipeline with a *failing wide-area link*: 25 producers
+write into the 120 MB buffer while an uploader pushes completed files to
+the archive, backing off through WAN outages.
+
+    python examples/kangaroo_pipeline.py
+"""
+
+from repro.clients.base import ALL_DISCIPLINES
+from repro.experiments.scenario_kangaroo import KangarooParams, run_kangaroo
+from repro.grid.archive import WanConfig
+
+N_PRODUCERS = 25
+DURATION = 300.0
+WAN = WanConfig(bandwidth_mb_s=2.0, mean_time_between_outages=60.0,
+                mean_outage_duration=20.0)
+
+
+def main() -> None:
+    print(f"{N_PRODUCERS} producers, {DURATION:.0f}s, WAN with ~20s outages "
+          f"every ~60s:\n")
+    print(f"{'discipline':<10} {'delivered':>10} {'collisions':>11} "
+          f"{'outages':>8} {'broken':>7} {'backlog':>8}")
+    for discipline in ALL_DISCIPLINES:
+        run = run_kangaroo(
+            KangarooParams(discipline=discipline, n_producers=N_PRODUCERS,
+                           duration=DURATION, wan=WAN)
+        )
+        print(
+            f"{discipline.name:<10} {run.mb_delivered:>8.1f}MB "
+            f"{run.collisions:>11} {run.wan_outages:>8} "
+            f"{run.broken_transfers:>7} {run.backlog_mb:>6.1f}MB"
+        )
+    print(
+        "\nThe polite disciplines deliver at the WAN's pace — the pipeline's\n"
+        "slowest hop — and ride out the outages.  The fixed producers burn\n"
+        "tens of thousands of ENOSPC collisions, and the deleted partial\n"
+        "writes behind them consume so much of the file server's disk\n"
+        "bandwidth that even the *uploader's local reads* starve: blind\n"
+        "aggression cuts end-to-end delivery several-fold."
+    )
+
+
+if __name__ == "__main__":
+    main()

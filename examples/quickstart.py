@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Quickstart: run real ftsh scripts with retry, alternation, and timeouts.
+
+This example uses the *real* runtime — every command is a POSIX process,
+every ``try`` timeout is enforced by killing the process session.  Run it
+with::
+
+    python examples/quickstart.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import BackoffPolicy, Ftsh
+from repro.core.realruntime import RealDriver
+
+# A fast backoff schedule so the demo doesn't sit around; drop `policy`
+# to get the paper's schedule (1 s base, doubling, 1 h cap).
+shell = Ftsh(
+    driver=RealDriver(term_grace=0.5),
+    policy=BackoffPolicy(base=0.1, factor=2.0, ceiling=1.0),
+)
+
+
+def demo_retry_until_success() -> None:
+    """A flaky command heals itself: ``try`` absorbs the failures."""
+    workdir = Path(tempfile.mkdtemp())
+    flag = workdir / "flag"
+    # The command fails the first time (creating the flag), succeeds after.
+    result = shell.run(
+        f"""
+# keep trying for ten seconds, backing off exponentially between attempts
+try for 10 seconds
+    sh -c "test -f {flag} || {{ touch {flag}; exit 1; }}"
+end
+"""
+    )
+    print(f"retry-until-success: success={result.success} "
+          f"attempts={sum(1 for e in result.log.events if e.kind.value == 'try-attempt')}")
+
+
+def demo_alternation() -> None:
+    """``forany`` walks alternatives until one works; the loop variable
+    keeps the winning value."""
+    result = shell.run(
+        """
+forany host in broken-a broken-b localhost
+    sh -c "test ${host} = localhost"
+end
+echo "fetched from ${host}" -> message
+"""
+    )
+    print(f"alternation: success={result.success} message={result.variables.get('message')!r}")
+
+
+def demo_timeout_kills_process_tree() -> None:
+    """A hung command (and its children) is killed when the window ends."""
+    import time
+
+    started = time.monotonic()
+    result = shell.run(
+        """
+try for 1 seconds
+    sh -c "sleep 300 & wait"
+end
+"""
+    )
+    elapsed = time.monotonic() - started
+    print(f"timeout-kill: success={result.success} elapsed={elapsed:.1f}s "
+          f"(the 300 s sleep is gone)")
+
+
+def demo_io_transaction() -> None:
+    """Variable redirection holds output in abeyance until a run commits
+    (the paper's I/O-transaction idiom, §4)."""
+    result = shell.run(
+        """
+try 3 times
+    sh -c "echo attempt output; exit 0" ->& tmp
+end
+cat -< tmp -> shown
+"""
+    )
+    print(f"io-transaction: shown={result.variables.get('shown')!r}")
+
+
+def demo_parallel() -> None:
+    """``forall`` runs branches in parallel and cancels losers."""
+    import time
+
+    started = time.monotonic()
+    result = shell.run(
+        """
+forall delay in 0.2 0.2 0.2
+    sleep ${delay}
+end
+"""
+    )
+    print(f"parallel: success={result.success} "
+          f"wall={time.monotonic() - started:.2f}s (3 x 0.2s sleeps)")
+
+
+if __name__ == "__main__":
+    demo_retry_until_success()
+    demo_alternation()
+    demo_timeout_kills_process_tree()
+    demo_io_transaction()
+    demo_parallel()

@@ -1,0 +1,8 @@
+"""Shim so `python setup.py develop` works offline (no wheel package).
+
+`pip install -e .` is the preferred path when build tooling is available;
+this file only delegates to the pyproject.toml configuration.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,184 @@
+"""``ftsh`` — command-line front end for the fault tolerant shell.
+
+Usage::
+
+    ftsh script.ftsh                 # run a script file
+    ftsh -c 'try for 5 seconds ...'  # run inline text
+    ftsh -t 300 script.ftsh          # bound the whole run to 300 s
+    ftsh --parse-only script.ftsh    # syntax check
+    ftsh -D host=xxx script.ftsh     # preset variables
+    ftsh --log run.log script.ftsh   # write the execution log
+
+Exit status: 0 on script success, 1 on script failure/timeout,
+2 on syntax or usage errors — mirroring the success/failure dichotomy
+the language itself exposes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core.errors import FtshSyntaxError
+from .core.shell import Ftsh
+from .core.units import duration_seconds
+
+
+def _parse_timeout(text: str) -> float:
+    """Accept ``300``, ``300s``, ``5 minutes``, ``5minutes``."""
+    parts = text.split()
+    if len(parts) == 2:
+        return duration_seconds(float(parts[0]), parts[1])
+    stripped = text.strip()
+    for idx, char in enumerate(stripped):
+        if not (char.isdigit() or char in ".+-"):
+            return duration_seconds(float(stripped[:idx]), stripped[idx:])
+    return float(stripped)
+
+
+def build_argparser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ftsh",
+        description="The fault tolerant shell: retry, alternation and "
+        "timeouts as language constructs (Thain & Livny, HPDC 2003).",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("script", nargs="?", help="script file to run")
+    source.add_argument("-c", "--command", help="run this script text")
+    source.add_argument(
+        "-i", "--interactive", action="store_true",
+        help="start an interactive session (:help for directives)",
+    )
+    parser.add_argument(
+        "-t",
+        "--timeout",
+        help="bound the whole run (e.g. '300', '5 minutes')",
+    )
+    parser.add_argument(
+        "-D",
+        "--define",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="preset a shell variable (repeatable)",
+    )
+    parser.add_argument(
+        "--parse-only", action="store_true", help="syntax-check and exit"
+    )
+    parser.add_argument(
+        "--format", action="store_true",
+        help="print the script in canonical formatting and exit",
+    )
+    parser.add_argument("--log", help="write the execution log to this file")
+    parser.add_argument(
+        "--log-level",
+        choices=("results", "commands", "trace"),
+        default="trace",
+        help="log verbosity (paper: 'a log of varying detail')",
+    )
+    parser.add_argument(
+        "--spool-dir",
+        metavar="DIR",
+        help="keep large variable values in files under DIR instead of memory",
+    )
+    parser.add_argument(
+        "--summary", action="store_true", help="print a log summary to stderr"
+    )
+    parser.add_argument(
+        "--max-parallel",
+        type=int,
+        metavar="N",
+        help="cap simultaneously running forall branches (the paper's "
+        "process-creation governor); default unlimited",
+    )
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="print a post-mortem analysis (per-command failure rates, "
+        "backoff totals, branch frequencies) to stderr",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_argparser().parse_args(argv)
+
+    if args.interactive:
+        from .repl import Repl
+
+        return Repl().run()
+
+    if args.command is not None:
+        text, name = args.command, "<command-line>"
+    else:
+        try:
+            with open(args.script, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            print(f"ftsh: cannot read {args.script}: {exc}", file=sys.stderr)
+            return 2
+        name = args.script
+
+    try:
+        script = Ftsh.parse(text, name)
+    except FtshSyntaxError as exc:
+        print(f"ftsh: {name}: {exc}", file=sys.stderr)
+        return 2
+    if args.parse_only:
+        return 0
+    if args.format:
+        from .core.pretty import format_script
+
+        sys.stdout.write(format_script(script))
+        return 0
+
+    variables = {}
+    for item in args.define:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            print(f"ftsh: bad -D {item!r}; expected NAME=VALUE", file=sys.stderr)
+            return 2
+        variables[key] = value
+
+    timeout: Optional[float] = None
+    if args.timeout is not None:
+        try:
+            timeout = _parse_timeout(args.timeout)
+        except (ValueError, FtshSyntaxError):
+            print(f"ftsh: bad timeout {args.timeout!r}", file=sys.stderr)
+            return 2
+
+    from .core.realruntime import RealDriver
+    from .core.shell_log import LOG_COMMANDS, LOG_RESULTS, LOG_TRACE
+    from .core.variables import SpoolPolicy
+
+    if args.max_parallel is not None and args.max_parallel < 1:
+        print(f"ftsh: bad --max-parallel {args.max_parallel}", file=sys.stderr)
+        return 2
+    driver = RealDriver(max_parallel=args.max_parallel)
+    level = {"results": LOG_RESULTS, "commands": LOG_COMMANDS,
+             "trace": LOG_TRACE}[args.log_level]
+    spool = SpoolPolicy(args.spool_dir) if args.spool_dir else None
+    shell = Ftsh(driver=driver, spool=spool, log_level=level)
+    result = shell.run(script, variables=variables, timeout=timeout)
+
+    if args.log:
+        try:
+            with open(args.log, "w", encoding="utf-8") as handle:
+                handle.write(result.log.dump() + "\n")
+        except OSError as exc:
+            print(f"ftsh: cannot write log {args.log}: {exc}", file=sys.stderr)
+    if args.summary:
+        print(result.log.summary(), file=sys.stderr)
+    if args.analyze:
+        from .core.analysis import analyze
+
+        print(analyze(result.log).report(), file=sys.stderr)
+    if not result.success and result.reason:
+        print(f"ftsh: script failed: {result.reason}", file=sys.stderr)
+    return 0 if result.success else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

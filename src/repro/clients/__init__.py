@@ -1,0 +1,17 @@
+"""Client disciplines and the paper's scenario scripts."""
+
+from .base import ALL_DISCIPLINES, ALOHA, ETHERNET, FIXED, Discipline, by_name
+from .scripts import format_window, producer_script, reader_script, submit_script
+
+__all__ = [
+    "ALL_DISCIPLINES",
+    "ALOHA",
+    "ETHERNET",
+    "FIXED",
+    "Discipline",
+    "by_name",
+    "format_window",
+    "producer_script",
+    "reader_script",
+    "submit_script",
+]

@@ -1,0 +1,53 @@
+"""Client disciplines: Fixed, Aloha, Ethernet (paper §5).
+
+    "A fixed client aggressively repeats its assigned work without delay
+    and without regard to any sort of failure.  An Aloha client uses the
+    ordinary ftsh try structure to repeat a work unit with an exponential
+    backoff and random factor in case of failure.  An Ethernet client
+    uses the same structure, but additionally adds a small piece of code
+    to perform carrier sense before accessing a resource."
+
+A discipline is therefore two things: a backoff policy for ``try`` and a
+flag for whether the scenario script includes the carrier-sense probe.
+The scripts themselves live in :mod:`repro.clients.scripts`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.backoff import BackoffPolicy, NO_BACKOFF, PAPER_POLICY
+
+
+@dataclass(frozen=True, slots=True)
+class Discipline:
+    """One client behaviour under contention."""
+
+    name: str
+    policy: BackoffPolicy
+    carrier_sense: bool
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Retry immediately, forever, blindly.
+FIXED = Discipline("fixed", NO_BACKOFF, carrier_sense=False)
+
+#: Exponential backoff with jitter, no resource probing.
+ALOHA = Discipline("aloha", PAPER_POLICY, carrier_sense=False)
+
+#: Backoff plus a carrier-sense probe before touching the resource.
+ETHERNET = Discipline("ethernet", PAPER_POLICY, carrier_sense=True)
+
+#: The paper's comparison set, in presentation order.
+ALL_DISCIPLINES = (FIXED, ALOHA, ETHERNET)
+
+
+def by_name(name: str) -> Discipline:
+    """Look up a discipline by its lowercase name."""
+    for discipline in ALL_DISCIPLINES:
+        if discipline.name == name.lower():
+            return discipline
+    raise KeyError(f"unknown discipline {name!r}; expected one of "
+                   f"{[d.name for d in ALL_DISCIPLINES]}")

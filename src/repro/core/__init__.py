@@ -1,0 +1,90 @@
+"""ftsh — the fault tolerant shell (the paper's primary contribution).
+
+The package splits along the sans-IO boundary:
+
+* language: :mod:`.lexer`, :mod:`.parser`, :mod:`.ast_nodes`
+* semantics: :mod:`.interpreter` (yields effects), :mod:`.backoff`,
+  :mod:`.timeline`, :mod:`.variables`, :mod:`.expressions`
+* world: :mod:`.realruntime` (POSIX driver); the simulation driver lives
+  in :mod:`repro.simruntime`
+* front-end: :mod:`.shell` (:class:`Ftsh`), :mod:`.shell_log`
+"""
+
+from .analysis import CommandStats, LogAnalysis, analyze
+from .ast_nodes import Script
+from .backoff import NO_BACKOFF, PAPER_POLICY, BackoffPolicy, BackoffState
+from .effects import (
+    CommandResult,
+    Effect,
+    EffectGenerator,
+    GetRandom,
+    GetTime,
+    ParallelBranch,
+    ParallelResult,
+    RunCommand,
+    RunParallel,
+    Sleep,
+    SleepResult,
+)
+from .errors import (
+    FtshCancelled,
+    FtshError,
+    FtshFailure,
+    FtshRuntimeError,
+    FtshSyntaxError,
+    FtshTimeout,
+    SimulationError,
+    UndefinedVariableError,
+)
+from .interpreter import Interpreter
+from .parser import parse
+from .realruntime import DEADLINE_ENV, RealDriver
+from .shell import Ftsh, RunResult
+from .shell_log import EventKind, LogEvent, ShellLog
+from .timeline import UNBOUNDED, AttemptBudget, DeadlineStack
+from .variables import Scope, expand_word, expand_words
+
+__all__ = [
+    "AttemptBudget",
+    "CommandStats",
+    "LogAnalysis",
+    "analyze",
+    "BackoffPolicy",
+    "BackoffState",
+    "CommandResult",
+    "DEADLINE_ENV",
+    "DeadlineStack",
+    "Effect",
+    "EffectGenerator",
+    "EventKind",
+    "Ftsh",
+    "FtshCancelled",
+    "FtshError",
+    "FtshFailure",
+    "FtshRuntimeError",
+    "FtshSyntaxError",
+    "FtshTimeout",
+    "GetRandom",
+    "GetTime",
+    "Interpreter",
+    "LogEvent",
+    "NO_BACKOFF",
+    "PAPER_POLICY",
+    "ParallelBranch",
+    "ParallelResult",
+    "RealDriver",
+    "RunCommand",
+    "RunParallel",
+    "RunResult",
+    "Scope",
+    "Script",
+    "ShellLog",
+    "SimulationError",
+    "Sleep",
+    "SleepResult",
+    "UNBOUNDED",
+    "UndefinedVariableError",
+    "expand_word",
+    "expand_words",
+    "parse",
+]

@@ -1,0 +1,226 @@
+"""Abstract syntax tree for ftsh programs.
+
+Every node is an immutable dataclass.  A *procedure* (any node) does not
+return a value — it succeeds or fails (paper, §4); the tree therefore has
+no expression nodes except inside ``if`` conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from .tokens import Word
+
+
+@dataclass(frozen=True, slots=True)
+class Redirect:
+    """One redirection: ``op`` applied to ``target``.
+
+    File targets (`` > >> >& >>&``, ``<``) name paths; variable targets
+    (``-> ->> ->& ->>&``, ``-<``) name shell variables.
+    """
+
+    op: str
+    target: Word
+
+    @property
+    def to_variable(self) -> bool:
+        return self.op.startswith("-")
+
+    @property
+    def is_input(self) -> bool:
+        return self.op in ("<", "-<")
+
+    @property
+    def appends(self) -> bool:
+        return ">>" in self.op
+
+    @property
+    def merges_stderr(self) -> bool:
+        return self.op.endswith("&")
+
+
+@dataclass(frozen=True, slots=True)
+class Command:
+    """An external command: words plus redirections."""
+
+    words: tuple[Word, ...]
+    redirects: tuple[Redirect, ...] = ()
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Assignment:
+    """``name=value`` — bind a shell variable."""
+
+    name: str
+    value: Word
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class FailureAtom:
+    """The ``failure`` command: unconditionally fail (throw)."""
+
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class SuccessAtom:
+    """The ``success`` command: unconditionally succeed (no-op)."""
+
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionDef:
+    """``function NAME … end`` — a named procedure (ftsh tech report).
+
+    Calls look like commands: a statement whose first word names a
+    defined function invokes it with positionals ``$1``..``$N`` (plus
+    ``$0`` = the function name and ``$#`` = argument count) bound for
+    the duration of the call.  Like every procedure it only succeeds or
+    fails.
+    """
+
+    name: str
+    body: "Group"
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Group:
+    """A sequence executed in order; fails fast on the first failure."""
+
+    body: tuple["Statement", ...]
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class TryLimits:
+    """The retry budget of a ``try``.
+
+    ``duration`` — seconds in the time window (None = unlimited);
+    ``attempts`` — maximum attempts (None = unlimited);
+    ``every`` — fixed retry interval in seconds overriding exponential
+    backoff (an extension from the ftsh technical report).
+    A ``try forever`` has all three None.
+    """
+
+    duration: Optional[float] = None
+    attempts: Optional[int] = None
+    every: Optional[float] = None
+
+
+@dataclass(frozen=True, slots=True)
+class Try:
+    """``try <limits> … [catch …] end`` — the heart of the Ethernet approach."""
+
+    limits: TryLimits
+    body: Group
+    catch: Optional[Group] = None
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ForAny:
+    """``forany VAR in w1 w2 … end`` — first alternative to succeed wins."""
+
+    var: str
+    values: tuple[Word, ...]
+    body: Group
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ForAll:
+    """``forall VAR in w1 w2 … end`` — run all alternatives in parallel;
+    all must succeed, first failure aborts the rest."""
+
+    var: str
+    values: tuple[Word, ...]
+    body: Group
+    line: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Conditions (if-expressions)
+# ---------------------------------------------------------------------------
+
+#: Numeric comparators and their semantics.
+NUMERIC_OPS = (".lt.", ".gt.", ".le.", ".ge.", ".eq.", ".ne.")
+#: String comparators.
+STRING_OPS = (".eql.", ".neql.")
+#: Boolean connectives, in increasing binding strength.
+BOOL_OPS = (".or.", ".and.", ".not.")
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """``lhs OP rhs`` with a numeric or string comparator."""
+
+    op: str
+    lhs: Word
+    rhs: Word
+
+
+@dataclass(frozen=True, slots=True)
+class Truth:
+    """A bare operand: true iff it expands to something non-empty,
+    other than ``0`` or ``false``."""
+
+    operand: Word
+
+
+@dataclass(frozen=True, slots=True)
+class Not:
+    operand: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class Defined:
+    """``.defined. name`` — true iff the shell variable is bound.
+
+    An extension beyond the paper's listings: scripts that capture into a
+    variable inside a ``try`` need a safe way to test whether the capture
+    ever happened (expanding an unbound variable is itself a failure).
+    """
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class BoolOp:
+    """``.and.`` / ``.or.`` over two sub-expressions (left-assoc chains)."""
+
+    op: str
+    lhs: "Expr"
+    rhs: "Expr"
+
+
+Expr = Union[Comparison, Truth, Not, BoolOp, Defined]
+
+
+@dataclass(frozen=True, slots=True)
+class If:
+    """``if EXPR … [else …] end``."""
+
+    condition: Expr
+    then: Group
+    orelse: Optional[Group] = None
+    line: int = 0
+
+
+Statement = Union[
+    Command, Assignment, FailureAtom, SuccessAtom, Try, ForAny, ForAll, If,
+    FunctionDef,
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Script:
+    """A whole parsed program."""
+
+    body: Group
+    source_name: str = "<script>"

@@ -1,0 +1,112 @@
+"""The sans-IO effect protocol between the interpreter and its drivers.
+
+The interpreter (:mod:`repro.core.interpreter`) is a generator that yields
+effect requests and receives effect results; it never touches the clock,
+the OS, or the simulator directly.  Two drivers exist:
+
+* :class:`repro.core.realruntime.RealDriver` — wall clock + subprocesses;
+* :class:`repro.simruntime.SimDriver` — virtual time + simulated commands.
+
+Deadlines are *absolute* times in the driver's clock.  ``UNBOUNDED``
+(= +inf) means no limit.  A driver must guarantee: an operation given
+deadline D either completes before D or returns with ``timed_out=True``
+as soon after D as the driver can manage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from .timeline import UNBOUNDED
+
+#: The generator type the drivers consume.
+EffectGenerator = Generator["Effect", Any, Any]
+
+
+@dataclass(slots=True)
+class RunCommand:
+    """Execute an external (or simulated) command.
+
+    ``capture`` asks the driver to return the command's stdout (plus
+    stderr when ``merge_stderr``) in :attr:`CommandResult.output` instead
+    of letting it flow to the shell's own stdout.
+    """
+
+    argv: list[str]
+    stdin_data: Optional[str] = None
+    stdin_file: Optional[str] = None
+    stdout_file: Optional[str] = None
+    stdout_append: bool = False
+    merge_stderr: bool = False
+    capture: bool = False
+    deadline: float = UNBOUNDED
+
+
+@dataclass(slots=True)
+class CommandResult:
+    """Outcome of a :class:`RunCommand`."""
+
+    exit_code: int
+    output: Optional[str] = None
+    timed_out: bool = False
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.exit_code == 0 and not self.timed_out
+
+
+@dataclass(slots=True)
+class Sleep:
+    """Pause for ``duration`` seconds, but never past ``deadline``."""
+
+    duration: float
+    deadline: float = UNBOUNDED
+
+
+@dataclass(slots=True)
+class SleepResult:
+    """``timed_out`` is True when the deadline cut the sleep short."""
+
+    slept: float
+    timed_out: bool = False
+
+
+@dataclass(slots=True)
+class GetTime:
+    """Ask the driver for the current time (driver's clock)."""
+
+
+@dataclass(slots=True)
+class GetRandom:
+    """Ask the driver for one U[0,1) float (for backoff jitter)."""
+
+
+@dataclass(slots=True)
+class ParallelBranch:
+    """One ``forall`` branch: a ready-to-drive effect generator."""
+
+    name: str
+    generator: EffectGenerator
+
+
+@dataclass(slots=True)
+class RunParallel:
+    """Run branches concurrently; cancel the rest after the first failure.
+
+    The driver must drive every branch generator to completion (normal
+    return, control exception, or cancellation) and report per-branch
+    outcomes in order: ``None`` for success, the exception otherwise.
+    """
+
+    branches: list[ParallelBranch]
+    deadline: float = UNBOUNDED
+
+
+@dataclass(slots=True)
+class ParallelResult:
+    outcomes: list[Optional[BaseException]] = field(default_factory=list)
+
+
+Effect = RunCommand | Sleep | GetTime | GetRandom | RunParallel

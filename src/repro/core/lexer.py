@@ -1,0 +1,269 @@
+"""The ftsh lexer: text -> tokens.
+
+Lexical rules (shell-flavoured):
+
+* Words are maximal runs of non-special characters.  ``"…"`` spans allow
+  spaces and expand ``$var`` inside; ``'…'`` spans are fully literal;
+  adjacent spans concatenate into one word (``a"b c"d``).
+* ``$name`` and ``${name}`` are variable references.  A ``$`` not
+  followed by an identifier is a literal dollar sign.
+* ``\\`` escapes the next character anywhere (including quotes, ``$``,
+  ``>`` and newline — a backslash-newline is a line continuation).
+* ``#`` starts a comment when it begins a token (start of line or after
+  whitespace); inside a word it is an ordinary character (``file#1``).
+* Redirection operators: ``> >> >& >>&`` (files), ``-> ->> ->& -<``
+  (shell variables — the paper's "redirection to variables", §4).
+  A ``-`` only starts an operator when immediately followed by ``>`` or
+  ``<``; ``-f`` and ``a-b`` stay words.
+* ``\\n`` and ``;`` both end a statement.
+"""
+
+from __future__ import annotations
+
+from .errors import FtshSyntaxError
+from .tokens import (
+    REDIRECT_OPS,
+    Literal,
+    Token,
+    TokenKind,
+    VarRef,
+    Word,
+    WordPart,
+    _IDENT_FIRST,
+    _IDENT_REST,
+)
+
+_SPACE = frozenset(" \t\r")
+_WORD_BREAK = set(_SPACE) | {"\n", ";", '"', "'", "$", "\\"}
+
+
+class Lexer:
+    """Single-pass tokenizer with 1-based line/column tracking."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # -- low-level cursor ----------------------------------------------
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.text[idx] if idx < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        taken = self.text[self.pos : self.pos + count]
+        for ch in taken:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return taken
+
+    def _error(self, message: str) -> FtshSyntaxError:
+        return FtshSyntaxError(message, self.line, self.column)
+
+    # -- main loop -------------------------------------------------------
+    def tokens(self) -> list[Token]:
+        """Tokenize the whole input."""
+        out: list[Token] = []
+        while True:
+            token = self._next_token()
+            out.append(token)
+            if token.kind is TokenKind.EOF:
+                return out
+
+    def _next_token(self) -> Token:
+        self._skip_blank()
+        line, column = self.line, self.column
+        ch = self._peek()
+        if ch == "":
+            return Token(TokenKind.EOF, line, column)
+        if ch in ("\n", ";"):
+            self._advance()
+            return Token(TokenKind.NEWLINE, line, column)
+        op = self._match_redirect()
+        if op is not None:
+            return Token(TokenKind.REDIRECT, line, column, op=op)
+        word = self._lex_word()
+        return Token(TokenKind.WORD, line, column, word=word)
+
+    def _skip_blank(self) -> None:
+        """Skip spaces, comments, and backslash-newline continuations."""
+        while True:
+            ch = self._peek()
+            if ch in _SPACE:
+                self._advance()
+            elif ch == "\\" and self._peek(1) == "\n":
+                self._advance(2)
+            elif ch == "#":
+                while self._peek() not in ("", "\n"):
+                    self._advance()
+            else:
+                return
+
+    def _match_redirect(self) -> str | None:
+        """Greedily match a redirection operator at the cursor, if any."""
+        ch = self._peek()
+        if ch == "-" and self._peek(1) not in (">", "<"):
+            return None
+        if ch not in ("-", ">", "<"):
+            return None
+        for op in REDIRECT_OPS:
+            if self.text.startswith(op, self.pos):
+                self._advance(len(op))
+                return op
+        return None
+
+    # -- words -----------------------------------------------------------
+    def _lex_word(self) -> Word:
+        line, column = self.line, self.column
+        parts: list[WordPart] = []
+        buffer: list[str] = []
+
+        def flush(quoted: bool = False) -> None:
+            if buffer:
+                parts.append(Literal("".join(buffer), quoted))
+                buffer.clear()
+
+        while True:
+            ch = self._peek()
+            if ch == "" or ch in _SPACE or ch in ("\n", ";"):
+                break
+            if ch == "#":
+                # '#' inside a word is literal; it only comments at token start.
+                buffer.append(self._advance())
+                continue
+            if ch in (">", "<") or (ch == "-" and self._peek(1) in (">", "<")):
+                break
+            if ch == "\\":
+                self._advance()
+                nxt = self._peek()
+                if nxt == "":
+                    raise self._error("dangling backslash at end of input")
+                if nxt == "\n":
+                    self._advance()
+                    continue
+                buffer.append(self._advance())
+                continue
+            if ch == "'":
+                flush()
+                parts.append(Literal(self._lex_single_quote(), quoted=True))
+                continue
+            if ch == '"':
+                flush()
+                parts.extend(self._lex_double_quote())
+                continue
+            if ch == "$":
+                ref = self._try_lex_varref(quoted=False)
+                if ref is None:
+                    buffer.append(self._advance())
+                else:
+                    flush()
+                    parts.append(ref)
+                continue
+            buffer.append(self._advance())
+        flush()
+        if not parts:
+            raise self._error("empty word")  # pragma: no cover - unreachable by construction
+        return Word(tuple(parts), line, column)
+
+    def _lex_single_quote(self) -> str:
+        self._advance()  # opening '
+        chunk: list[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise self._error("unterminated single quote")
+            if ch == "'":
+                self._advance()
+                return "".join(chunk)
+            chunk.append(self._advance())
+
+    def _lex_double_quote(self) -> list[WordPart]:
+        self._advance()  # opening "
+        parts: list[WordPart] = []
+        chunk: list[str] = []
+
+        def flush() -> None:
+            # Empty chunks still matter: "" is a real (empty) quoted part.
+            parts.append(Literal("".join(chunk), quoted=True))
+            chunk.clear()
+
+        emitted = False
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise self._error("unterminated double quote")
+            if ch == '"':
+                self._advance()
+                if chunk or not emitted:
+                    flush()
+                return parts
+            if ch == "\\":
+                self._advance()
+                nxt = self._peek()
+                if nxt == "":
+                    raise self._error("unterminated double quote")
+                if nxt == "\n":
+                    self._advance()
+                    continue
+                chunk.append(self._advance())
+                continue
+            if ch == "$":
+                ref = self._try_lex_varref(quoted=True)
+                if ref is None:
+                    chunk.append(self._advance())
+                else:
+                    if chunk:
+                        flush()
+                    parts.append(ref)
+                    emitted = True
+                continue
+            chunk.append(self._advance())
+
+    def _try_lex_varref(self, quoted: bool) -> VarRef | None:
+        """Lex ``$name`` / ``${name}`` at the cursor; None if plain ``$``."""
+        assert self._peek() == "$"
+        nxt = self._peek(1)
+        if nxt == "{":
+            self._advance(2)
+            name_chars: list[str] = []
+            while True:
+                ch = self._peek()
+                if ch == "":
+                    raise self._error("unterminated ${...} reference")
+                if ch == "}":
+                    self._advance()
+                    break
+                name_chars.append(self._advance())
+            name = "".join(name_chars)
+            positional = name.isdigit() or name == "#"
+            if not positional and (
+                not name
+                or name[0] not in _IDENT_FIRST
+                or any(c not in _IDENT_REST for c in name)
+            ):
+                raise self._error(f"invalid variable name in ${{{name}}}")
+            return VarRef(name, quoted)
+        if nxt.isdigit():
+            # positional parameter: $1, $23 (digits only, greedy)
+            self._advance()  # $
+            digits = [self._advance()]
+            while self._peek().isdigit():
+                digits.append(self._advance())
+            return VarRef("".join(digits), quoted)
+        if nxt in _IDENT_FIRST:
+            self._advance()  # $
+            name_chars = [self._advance()]
+            while self._peek() in _IDENT_REST:
+                name_chars.append(self._advance())
+            return VarRef("".join(name_chars), quoted)
+        return None
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into a list ending with an EOF token."""
+    return Lexer(text).tokens()

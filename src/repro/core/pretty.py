@@ -1,0 +1,150 @@
+"""Canonical formatting of ftsh scripts (the ``ftsh --format`` tool).
+
+``format_script(parse(text))`` renders a parse tree back to source in a
+single canonical style: four-space indentation, one statement per line,
+``${name}`` expansions, double quotes only where a word needs them.
+Formatting is *idempotent* — formatting already-formatted output changes
+nothing — which the property suite verifies as a fixed point:
+``format(parse(format(parse(x)))) == format(parse(x))``.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+from .tokens import VarRef, Word
+
+INDENT = "    "
+
+#: Characters that force quoting of a literal span.
+_NEEDS_QUOTES = set(" \t\n;#'\"\\<>")
+
+
+def _format_literal(text: str, force_quotes: bool) -> str:
+    """Render a literal span, quoting/escaping as needed."""
+    risky = force_quotes or any(c in _NEEDS_QUOTES for c in text) or text == ""
+    if not risky:
+        # '-' only starts a redirect operator before '>' or '<'
+        if any(a == "-" and b in "<>" for a, b in zip(text, text[1:])):
+            risky = True
+    if not risky:
+        return text
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"').replace("$", "\\$")
+    return f'"{escaped}"'
+
+
+def format_word(word: Word) -> str:
+    chunks = []
+    for part in word.parts:
+        if isinstance(part, VarRef):
+            chunks.append("${" + part.name + "}")
+        else:
+            chunks.append(_format_literal(part.text, force_quotes=part.quoted))
+    return "".join(chunks)
+
+
+def _format_expr(expr: ast.Expr, parent_op: str = "") -> str:
+    if isinstance(expr, ast.Comparison):
+        return f"{format_word(expr.lhs)} {expr.op} {format_word(expr.rhs)}"
+    if isinstance(expr, ast.Truth):
+        return format_word(expr.operand)
+    if isinstance(expr, ast.Defined):
+        return f".defined. {expr.name}"
+    if isinstance(expr, ast.Not):
+        inner = _format_expr(expr.operand, parent_op=".not.")
+        if isinstance(expr.operand, ast.BoolOp):
+            inner = f"( {inner} )"
+        return f".not. {inner}"
+    if isinstance(expr, ast.BoolOp):
+        left = _format_expr(expr.lhs, parent_op=expr.op)
+        right = _format_expr(expr.rhs, parent_op=expr.op)
+        # parenthesize a looser .or. under a tighter .and.
+        if isinstance(expr.lhs, ast.BoolOp) and expr.lhs.op != expr.op:
+            left = f"( {left} )"
+        if isinstance(expr.rhs, ast.BoolOp):
+            # right side of a left-assoc chain always parenthesized for
+            # stability (the parser folds left)
+            right = f"( {right} )"
+        return f"{left} {expr.op} {right}"
+    raise TypeError(f"unknown expression node: {expr!r}")  # pragma: no cover
+
+
+def _format_limits(limits: ast.TryLimits) -> str:
+    clauses = []
+    if limits.duration is not None:
+        clauses.append(f"for {_duration_words(limits.duration)}")
+    if limits.attempts is not None:
+        clauses.append(f"{limits.attempts} times")
+    if limits.every is not None:
+        clauses.append(f"every {_duration_words(limits.every)}")
+    if not clauses:
+        return "forever"
+    return " or ".join(clauses[:2]) + (
+        f" {clauses[2]}" if len(clauses) > 2 else ""
+    )
+
+
+def _duration_words(seconds: float) -> str:
+    """``90`` -> "1.5 minutes" using the largest unit that divides evenly."""
+    for unit, size in (("day", 86400.0), ("hour", 3600.0), ("minute", 60.0)):
+        amount = seconds / size
+        if amount >= 1 and amount == int(amount):
+            plural = "" if amount == 1 else "s"
+            return f"{int(amount)} {unit}{plural}"
+    if seconds == int(seconds):
+        plural = "" if seconds == 1 else "s"
+        return f"{int(seconds)} second{plural}"
+    return f"{seconds:g} seconds"
+
+
+def _format_statement(node: ast.Statement, depth: int, out: list[str]) -> None:
+    pad = INDENT * depth
+    if isinstance(node, ast.Command):
+        pieces = [format_word(word) for word in node.words]
+        for redirect in node.redirects:
+            pieces.append(redirect.op)
+            pieces.append(format_word(redirect.target))
+        out.append(pad + " ".join(pieces))
+    elif isinstance(node, ast.Assignment):
+        out.append(pad + f"{node.name}={format_word(node.value)}")
+    elif isinstance(node, ast.FailureAtom):
+        out.append(pad + "failure")
+    elif isinstance(node, ast.SuccessAtom):
+        out.append(pad + "success")
+    elif isinstance(node, ast.Try):
+        out.append(pad + f"try {_format_limits(node.limits)}")
+        _format_group(node.body, depth + 1, out)
+        if node.catch is not None:
+            out.append(pad + "catch")
+            _format_group(node.catch, depth + 1, out)
+        out.append(pad + "end")
+    elif isinstance(node, (ast.ForAny, ast.ForAll)):
+        keyword = "forany" if isinstance(node, ast.ForAny) else "forall"
+        values = " ".join(format_word(word) for word in node.values)
+        out.append(pad + f"{keyword} {node.var} in {values}")
+        _format_group(node.body, depth + 1, out)
+        out.append(pad + "end")
+    elif isinstance(node, ast.If):
+        out.append(pad + f"if {_format_expr(node.condition)}")
+        _format_group(node.then, depth + 1, out)
+        if node.orelse is not None:
+            out.append(pad + "else")
+            _format_group(node.orelse, depth + 1, out)
+        out.append(pad + "end")
+    elif isinstance(node, ast.FunctionDef):
+        out.append(pad + f"function {node.name}")
+        _format_group(node.body, depth + 1, out)
+        out.append(pad + "end")
+    else:  # pragma: no cover - parser produces no other nodes
+        raise TypeError(f"unknown statement node: {node!r}")
+
+
+def _format_group(group: ast.Group, depth: int, out: list[str]) -> None:
+    for statement in group.body:
+        _format_statement(statement, depth, out)
+
+
+def format_script(script: ast.Script) -> str:
+    """Render ``script`` in the canonical style (trailing newline)."""
+    out: list[str] = []
+    _format_group(script.body, 0, out)
+    return "\n".join(out) + "\n" if out else ""

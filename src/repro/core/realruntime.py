@@ -1,0 +1,318 @@
+"""The wall-clock driver: effects -> POSIX.
+
+Implements the process-management story from the paper, §4:
+
+* every child gets its own POSIX session (``start_new_session=True``, the
+  modern spelling of ``setsid``) so a ``try`` timeout can terminate the
+  whole process tree with one ``killpg``;
+* processes are "first gently requested to exit with SIGTERM and later
+  forcibly killed with SIGKILL";
+* a nested ftsh child is told the parent's (slightly earlier) deadline
+  through the :data:`DEADLINE_ENV` environment variable, so the child
+  shuts its own children down before the parent has to shoot blind;
+* ``forall`` branches run in threads; the first failing branch sets a
+  cancellation event that the other branches poll between and during
+  effects.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import threading
+import time
+from typing import Any, Optional
+
+from .effects import (
+    CommandResult,
+    EffectGenerator,
+    GetRandom,
+    GetTime,
+    ParallelResult,
+    RunCommand,
+    RunParallel,
+    Sleep,
+    SleepResult,
+)
+from .errors import FtshCancelled, FtshControl, FtshRuntimeError
+from .timeline import UNBOUNDED
+
+#: Environment variable carrying the absolute (epoch) deadline to nested
+#: ftsh interpreters.  The child subtracts :data:`NESTED_DEADLINE_MARGIN`
+#: so it can clean up its own process groups before the parent's SIGKILL.
+DEADLINE_ENV = "FTSH_DEADLINE_EPOCH"
+NESTED_DEADLINE_MARGIN = 1.0
+
+import random as _random
+
+
+class RealDriver:
+    """Drives an effect generator against the real operating system."""
+
+    def __init__(
+        self,
+        term_grace: float = 1.0,
+        poll_interval: float = 0.05,
+        rng: Optional[_random.Random] = None,
+        env: Optional[dict[str, str]] = None,
+        max_parallel: Optional[int] = None,
+    ) -> None:
+        #: Seconds between SIGTERM and SIGKILL on timeout/cancel.
+        self.term_grace = term_grace
+        #: Granularity of cancellation/deadline polling.
+        self.poll_interval = poll_interval
+        #: Cap on simultaneously running ``forall`` branches (paper §4:
+        #: "the creation of processes must be governed by an Ethernet-like
+        #: algorithm" — branch creation beyond the cap waits its turn
+        #: instead of exhausting process tables).  None = unlimited.
+        self.max_parallel = max_parallel
+        if max_parallel is not None and max_parallel < 1:
+            raise ValueError(f"max_parallel must be >= 1, got {max_parallel}")
+        self._rng = rng or _random.Random()
+        self._env = env
+        self._origin = time.monotonic()
+
+    # The interpreter's clock: seconds since driver creation (monotonic).
+    def now(self) -> float:
+        return time.monotonic() - self._origin
+
+    # ------------------------------------------------------------------
+    def run(self, generator: EffectGenerator) -> Optional[BaseException]:
+        """Drive ``generator`` to completion.
+
+        Returns ``None`` on success or the control exception
+        (:class:`FtshFailure` / :class:`FtshTimeout` / :class:`FtshCancelled`)
+        on failure.  Non-control exceptions propagate: they are bugs.
+        """
+        return self._drive(generator, cancel_event=None)
+
+    def _drive(
+        self, generator: EffectGenerator, cancel_event: Optional[threading.Event]
+    ) -> Optional[BaseException]:
+        try:
+            effect = generator.send(None)
+            while True:
+                if cancel_event is not None and cancel_event.is_set():
+                    effect = generator.throw(FtshCancelled("forall branch cancelled"))
+                    continue
+                result = self._execute(effect, cancel_event)
+                effect = generator.send(result)
+        except StopIteration:
+            return None
+        except FtshControl as control:
+            return control
+
+    # ------------------------------------------------------------------
+    def _execute(self, effect: Any, cancel_event: Optional[threading.Event]) -> Any:
+        if isinstance(effect, GetTime):
+            return self.now()
+        if isinstance(effect, GetRandom):
+            return self._rng.random()
+        if isinstance(effect, Sleep):
+            return self._sleep(effect, cancel_event)
+        if isinstance(effect, RunCommand):
+            return self._run_command(effect, cancel_event)
+        if isinstance(effect, RunParallel):
+            return self._run_parallel(effect)
+        raise FtshRuntimeError(f"unknown effect: {effect!r}")
+
+    # ------------------------------------------------------------------
+    def _sleep(self, effect: Sleep, cancel_event: Optional[threading.Event]) -> SleepResult:
+        start = self.now()
+        deadline_binds = effect.deadline - start < effect.duration
+        limit = min(effect.duration, effect.deadline - start)
+        if limit <= 0:
+            return SleepResult(slept=0.0, timed_out=deadline_binds)
+        if cancel_event is None:
+            time.sleep(limit)
+        else:
+            # Event.wait returns early when cancelled; the drive loop then
+            # notices the flag and throws FtshCancelled at the yield point.
+            cancel_event.wait(timeout=limit)
+        slept = self.now() - start
+        cancelled_early = cancel_event is not None and cancel_event.is_set()
+        return SleepResult(slept=slept, timed_out=deadline_binds and not cancelled_early)
+
+    # ------------------------------------------------------------------
+    def _run_command(
+        self, effect: RunCommand, cancel_event: Optional[threading.Event]
+    ) -> CommandResult:
+        start = self.now()
+        remaining = effect.deadline - start
+        if remaining <= 0:
+            return CommandResult(exit_code=-1, timed_out=True, detail="deadline already passed")
+
+        stdin_handle: Any = None
+        stdout_handle: Any = None
+        opened: list[Any] = []
+        try:
+            try:
+                if effect.stdin_data is not None:
+                    stdin_handle = subprocess.PIPE
+                elif effect.stdin_file is not None:
+                    stdin_handle = open(effect.stdin_file, "rb")
+                    opened.append(stdin_handle)
+                else:
+                    stdin_handle = subprocess.DEVNULL
+                if effect.capture:
+                    stdout_handle = subprocess.PIPE
+                elif effect.stdout_file is not None:
+                    mode = "ab" if effect.stdout_append else "wb"
+                    stdout_handle = open(effect.stdout_file, mode)
+                    opened.append(stdout_handle)
+            except OSError as exc:
+                # A missing input file or unwritable target is an ordinary
+                # command failure (the shell a user would compare with
+                # behaves the same way), not an interpreter crash.
+                return CommandResult(exit_code=1, detail=f"redirection failed: {exc}")
+            stderr_handle = subprocess.STDOUT if effect.merge_stderr else None
+
+            env = dict(os.environ if self._env is None else self._env)
+            if effect.deadline != UNBOUNDED:
+                epoch_deadline = time.time() + remaining - NESTED_DEADLINE_MARGIN
+                env[DEADLINE_ENV] = f"{epoch_deadline:.6f}"
+
+            try:
+                process = subprocess.Popen(
+                    effect.argv,
+                    stdin=stdin_handle,
+                    stdout=stdout_handle,
+                    stderr=stderr_handle,
+                    start_new_session=True,
+                    env=env,
+                )
+            except (OSError, ValueError) as exc:
+                # "The program could not be loaded and run" — case 4 of the
+                # paper's cp taxonomy; indistinguishable to the script, it
+                # is simply a failure.
+                return CommandResult(exit_code=127, detail=f"spawn failed: {exc}")
+
+            stdin_bytes = effect.stdin_data.encode() if effect.stdin_data is not None else None
+            output, killed = self._wait(
+                process, stdin_bytes, effect, cancel_event, capture=effect.capture
+            )
+            if output is None and effect.capture:
+                output = ""
+            if killed:
+                cancelled = cancel_event is not None and cancel_event.is_set()
+                return CommandResult(
+                    exit_code=-1,
+                    timed_out=not cancelled,
+                    detail="cancelled" if cancelled else "killed at deadline",
+                )
+            return CommandResult(exit_code=process.returncode, output=output)
+        finally:
+            for handle in opened:
+                handle.close()
+
+    def _wait(
+        self,
+        process: subprocess.Popen,
+        stdin_bytes: Optional[bytes],
+        effect: RunCommand,
+        cancel_event: Optional[threading.Event],
+        capture: bool,
+    ) -> tuple[Optional[str], bool]:
+        """Wait for ``process`` under deadline/cancellation.
+
+        Returns ``(captured_output, killed)``.  On expiry the whole
+        session gets SIGTERM, then SIGKILL after ``term_grace`` seconds.
+        """
+        deadline = effect.deadline
+
+        def remaining() -> float:
+            return deadline - self.now()
+
+        communicate_timeout: Optional[float]
+        try:
+            while True:
+                if cancel_event is not None:
+                    communicate_timeout = min(self.poll_interval, max(remaining(), 0.0))
+                else:
+                    communicate_timeout = None if deadline == UNBOUNDED else max(remaining(), 0.0)
+                try:
+                    stdout_bytes, _ = process.communicate(stdin_bytes, timeout=communicate_timeout)
+                    output = (
+                        stdout_bytes.decode(errors="replace")
+                        if capture and stdout_bytes is not None
+                        else None
+                    )
+                    return output, False
+                except subprocess.TimeoutExpired:
+                    stdin_bytes = None  # communicate() already wrote it
+                    if cancel_event is not None and cancel_event.is_set():
+                        break
+                    if remaining() <= 0:
+                        break
+        except BaseException:
+            self._kill_session(process)
+            raise
+        # Deadline or cancellation: terminate the whole session.
+        self._kill_session(process)
+        return None, True
+
+    def _kill_session(self, process: subprocess.Popen) -> None:
+        """SIGTERM the session, wait ``term_grace``, then SIGKILL."""
+        try:
+            pgid = os.getpgid(process.pid)
+        except ProcessLookupError:
+            process.wait()
+            return
+        try:
+            os.killpg(pgid, signal.SIGTERM)
+        except ProcessLookupError:
+            pass
+        try:
+            process.wait(timeout=self.term_grace)
+        except subprocess.TimeoutExpired:
+            try:
+                os.killpg(pgid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+            process.wait()
+        # Drain pipes left open by a direct kill path.
+        for stream in (process.stdout, process.stdin, process.stderr):
+            if stream is not None:
+                try:
+                    stream.close()
+                except OSError:  # pragma: no cover - best effort
+                    pass
+
+    # ------------------------------------------------------------------
+    def _run_parallel(self, effect: RunParallel) -> ParallelResult:
+        cancel_event = threading.Event()
+        outcomes: list[Optional[BaseException]] = [None] * len(effect.branches)
+        errors: list[BaseException] = []
+        # The process-creation governor: at most max_parallel branches run
+        # at once; the rest wait for a slot (FIFO by branch order).
+        limit = self.max_parallel or len(effect.branches)
+        slots = threading.Semaphore(max(limit, 1))
+
+        def runner(index: int) -> None:
+            with slots:
+                if cancel_event.is_set():
+                    # A sibling already failed; this branch never starts.
+                    outcomes[index] = FtshCancelled("forall branch skipped")
+                    return
+                try:
+                    outcomes[index] = self._drive(
+                        effect.branches[index].generator, cancel_event
+                    )
+                except BaseException as exc:  # interpreter defect: re-raise in parent
+                    errors.append(exc)
+                    outcomes[index] = exc
+                if outcomes[index] is not None:
+                    cancel_event.set()
+
+        threads = [
+            threading.Thread(target=runner, args=(i,), name=branch.name, daemon=True)
+            for i, branch in enumerate(effect.branches)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return ParallelResult(outcomes=outcomes)

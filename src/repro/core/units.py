@@ -1,0 +1,75 @@
+"""Time-unit parsing for ``try for <n> <unit>`` clauses.
+
+The paper's examples use ``30 minutes``, ``1 hour``, ``5 seconds``; the
+shell accepts singular and plural forms plus the usual abbreviations.
+All durations are normalized to float seconds.
+"""
+
+from __future__ import annotations
+
+from .errors import FtshSyntaxError
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+
+#: Accepted spellings for each unit, lowercased.
+_UNIT_SECONDS: dict[str, float] = {
+    "s": SECOND,
+    "sec": SECOND,
+    "secs": SECOND,
+    "second": SECOND,
+    "seconds": SECOND,
+    "m": MINUTE,
+    "min": MINUTE,
+    "mins": MINUTE,
+    "minute": MINUTE,
+    "minutes": MINUTE,
+    "h": HOUR,
+    "hr": HOUR,
+    "hrs": HOUR,
+    "hour": HOUR,
+    "hours": HOUR,
+    "d": DAY,
+    "day": DAY,
+    "days": DAY,
+}
+
+
+def is_time_unit(word: str) -> bool:
+    """Return True if ``word`` spells a known time unit."""
+    return word.lower() in _UNIT_SECONDS
+
+
+def unit_seconds(word: str) -> float:
+    """Return the length in seconds of one ``word`` (e.g. ``"minutes"`` -> 60).
+
+    Raises :class:`FtshSyntaxError` for unknown units.
+    """
+    try:
+        return _UNIT_SECONDS[word.lower()]
+    except KeyError:
+        raise FtshSyntaxError(f"unknown time unit: {word!r}") from None
+
+
+def duration_seconds(amount: float, unit: str) -> float:
+    """Return ``amount`` of ``unit`` expressed in seconds.
+
+    Negative durations are rejected — a ``try for -5 minutes`` is a
+    script bug, not a zero-length window.
+    """
+    if amount < 0:
+        raise FtshSyntaxError(f"negative duration: {amount} {unit}")
+    return amount * unit_seconds(unit)
+
+
+def format_duration(seconds: float) -> str:
+    """Render ``seconds`` compactly for logs (e.g. ``"90s"``, ``"2.5h"``)."""
+    if seconds >= DAY:
+        return f"{seconds / DAY:g}d"
+    if seconds >= HOUR:
+        return f"{seconds / HOUR:g}h"
+    if seconds >= MINUTE:
+        return f"{seconds / MINUTE:g}m"
+    return f"{seconds:g}s"

@@ -1,0 +1,51 @@
+"""Experiment harnesses regenerating every figure in the paper.
+
+One module per figure (Figures 4 and 5 share a sweep), plus the scenario
+harnesses and plain-text reporting.  ``python -m repro.experiments.runall``
+regenerates everything at a chosen scale.
+"""
+
+from .figure1 import Figure1Result, run_figure1
+from .figure2 import TimelineResult, run_figure2, run_submit_timeline
+from .figure3 import run_figure3
+from .figure4 import BufferSweepResult, run_buffer_sweep, run_figure4
+from .figure5 import run_figure5
+from .figure6 import ReaderTimelineResult, run_figure6, run_reader_timeline
+from .figure7 import run_figure7
+from .scenario_buffer import BufferParams, BufferResult, run_buffer
+from .scenario_dag import DagParams, DagResult, run_dag_scenario
+from .scenario_kangaroo import KangarooParams, KangarooResult, run_kangaroo
+from .scenario_replica import ReplicaParams, ReplicaResult, run_replica
+from .scenario_submit import SubmitParams, SubmitResult, run_submission
+
+__all__ = [
+    "BufferParams",
+    "BufferResult",
+    "BufferSweepResult",
+    "DagParams",
+    "DagResult",
+    "KangarooParams",
+    "KangarooResult",
+    "Figure1Result",
+    "ReaderTimelineResult",
+    "ReplicaParams",
+    "ReplicaResult",
+    "SubmitParams",
+    "SubmitResult",
+    "TimelineResult",
+    "run_buffer",
+    "run_buffer_sweep",
+    "run_dag_scenario",
+    "run_kangaroo",
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_reader_timeline",
+    "run_replica",
+    "run_submission",
+    "run_submit_timeline",
+]

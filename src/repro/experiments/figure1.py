@@ -1,0 +1,85 @@
+"""Figure 1 — "Scalability of Job Submission".
+
+Paper: x = number of submitters (up to 500), y = jobs submitted in five
+minutes, one line per discipline.  The fixed client "fails completely
+above a load of 400 submitters", Aloha settles into an unstable 100-200
+jobs per five minutes, Ethernet keeps roughly 50% of peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..clients.base import ALL_DISCIPLINES, Discipline
+from ..grid.condor import CondorConfig
+from .report import ascii_chart, render_table
+from .scenario_submit import SubmitParams, SubmitResult, run_submission
+
+#: The sweep used for the full reproduction.
+PAPER_COUNTS: tuple[int, ...] = (25, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500)
+
+
+@dataclass(slots=True)
+class Figure1Result:
+    counts: tuple[int, ...]
+    duration: float
+    #: discipline name -> jobs submitted at each count.
+    jobs: dict[str, list[int]] = field(default_factory=dict)
+    #: discipline name -> schedd crashes at each count.
+    crashes: dict[str, list[int]] = field(default_factory=dict)
+    runs: list[SubmitResult] = field(default_factory=list)
+
+
+def run_figure1(
+    counts: Sequence[int] = PAPER_COUNTS,
+    duration: float = 300.0,
+    seed: int = 2003,
+    condor: CondorConfig | None = None,
+    disciplines: Sequence[Discipline] = ALL_DISCIPLINES,
+    carrier_threshold: int = 1000,
+) -> Figure1Result:
+    """Regenerate the Figure 1 sweep (possibly scaled down)."""
+    condor = condor or CondorConfig()
+    result = Figure1Result(counts=tuple(counts), duration=duration)
+    for discipline in disciplines:
+        jobs_row: list[int] = []
+        crash_row: list[int] = []
+        for count in counts:
+            run = run_submission(
+                SubmitParams(
+                    discipline=discipline,
+                    n_clients=count,
+                    duration=duration,
+                    script_window=duration,
+                    carrier_threshold=carrier_threshold,
+                    condor=condor,
+                    seed=seed,
+                )
+            )
+            jobs_row.append(run.jobs_submitted)
+            crash_row.append(run.crashes)
+            result.runs.append(run)
+        result.jobs[discipline.name] = jobs_row
+        result.crashes[discipline.name] = crash_row
+    return result
+
+
+def render(result: Figure1Result) -> str:
+    """The figure's rows plus an ASCII chart."""
+    headers = ["submitters"] + [f"{name} jobs" for name in result.jobs] + [
+        f"{name} crashes" for name in result.crashes
+    ]
+    rows = []
+    for idx, count in enumerate(result.counts):
+        row: list[object] = [count]
+        row += [result.jobs[name][idx] for name in result.jobs]
+        row += [result.crashes[name][idx] for name in result.crashes]
+        rows.append(row)
+    table = render_table(headers, rows)
+    chart = ascii_chart(
+        {name: [float(v) for v in vals] for name, vals in result.jobs.items()},
+        list(result.counts),
+        title=f"Figure 1: jobs submitted in {result.duration:g}s vs submitters",
+    )
+    return f"{table}\n\n{chart}"

@@ -1,0 +1,78 @@
+"""Figure 2 — "Timeline of Aloha Submitter".
+
+400 Aloha clients submit continuously for 30 minutes.  The heavy line is
+cumulative jobs submitted; the light line is available FDs.  The paper's
+signature features: the initial plunge of free FDs to ~0, upward FD
+spikes when the schedd crashes (the "broadcast jam"), and a staircase
+jobs curve that keeps creeping upward regardless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..clients.base import ALOHA, Discipline
+from ..grid.condor import CondorConfig
+from ..sim.monitor import TimeSeries
+from .report import render_timeline
+from .scenario_submit import SubmitParams, SubmitResult, run_submission
+
+
+@dataclass(slots=True)
+class TimelineResult:
+    discipline: str
+    duration: float
+    jobs_series: TimeSeries
+    fd_series: TimeSeries
+    run: SubmitResult
+
+
+def run_submit_timeline(
+    discipline: Discipline = ALOHA,
+    n_clients: int = 400,
+    duration: float = 1800.0,
+    seed: int = 2003,
+    condor: CondorConfig | None = None,
+    carrier_threshold: int = 1000,
+    sample_interval: float = 5.0,
+) -> TimelineResult:
+    """Shared runner for Figures 2 and 3."""
+    run = run_submission(
+        SubmitParams(
+            discipline=discipline,
+            n_clients=n_clients,
+            duration=duration,
+            script_window=300.0,
+            carrier_threshold=carrier_threshold,
+            condor=condor or CondorConfig(),
+            seed=seed,
+            sample_interval=sample_interval,
+        )
+    )
+    return TimelineResult(
+        discipline=discipline.name,
+        duration=duration,
+        jobs_series=run.jobs_series,
+        fd_series=run.fd_series,
+        run=run,
+    )
+
+
+def run_figure2(**kwargs) -> TimelineResult:
+    """Regenerate Figure 2 (Aloha timeline)."""
+    kwargs.setdefault("discipline", ALOHA)
+    return run_submit_timeline(**kwargs)
+
+
+def render(result: TimelineResult, step: float | None = None) -> str:
+    step = step or max(result.duration / 36.0, 1.0)
+    title = (
+        f"Figure timeline ({result.discipline}): jobs submitted & available FDs "
+        f"(crashes={result.run.crashes})"
+    )
+    return render_timeline(
+        {"jobs": result.jobs_series, "free_fds": result.fd_series},
+        result.duration,
+        step,
+        title=title,
+    )

@@ -1,0 +1,20 @@
+"""Figure 3 — "Timeline of Ethernet Submitter".
+
+Same setup as Figure 2 but with the Ethernet discipline: the carrier
+probe defers submissions when free FDs fall below the critical value
+(1000), so the available-FD line hovers at that floor, the schedd never
+crashes, and the jobs line climbs steadily.
+"""
+
+from __future__ import annotations
+
+from ..clients.base import ETHERNET
+from .figure2 import TimelineResult, render, run_submit_timeline
+
+__all__ = ["run_figure3", "render", "TimelineResult"]
+
+
+def run_figure3(**kwargs) -> TimelineResult:
+    """Regenerate Figure 3 (Ethernet timeline)."""
+    kwargs.setdefault("discipline", ETHERNET)
+    return run_submit_timeline(**kwargs)

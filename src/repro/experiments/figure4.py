@@ -1,0 +1,100 @@
+"""Figures 4 & 5 — "Buffer Throughput" and "Buffer Collisions".
+
+One sweep produces both figures: for each producer count P and each
+discipline, run the producer-consumer scenario and record (Figure 4)
+total files consumed and (Figure 5) total collisions.
+
+Expected shapes: Ethernet throughput stays near the consumer's ceiling
+and "falls off only slightly under heavy load"; fixed and Aloha do not
+scale.  Collisions: fixed >> aloha >> ethernet (near zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..clients.base import ALL_DISCIPLINES, Discipline
+from ..grid.storage import BufferConfig
+from .report import ascii_chart, render_table
+from .scenario_buffer import BufferParams, BufferResult, run_buffer
+
+#: Producer counts on the paper's x-axis.
+PAPER_COUNTS: tuple[int, ...] = (5, 10, 15, 20, 25, 30, 35, 40, 45, 50)
+
+
+@dataclass(slots=True)
+class BufferSweepResult:
+    counts: tuple[int, ...]
+    duration: float
+    #: discipline -> files consumed per count (Figure 4).
+    consumed: dict[str, list[int]] = field(default_factory=dict)
+    #: discipline -> collisions per count (Figure 5).
+    collisions: dict[str, list[int]] = field(default_factory=dict)
+    runs: list[BufferResult] = field(default_factory=list)
+
+
+def run_buffer_sweep(
+    counts: Sequence[int] = PAPER_COUNTS,
+    duration: float = 60.0,
+    seed: int = 2003,
+    buffer: BufferConfig | None = None,
+    disciplines: Sequence[Discipline] = ALL_DISCIPLINES,
+) -> BufferSweepResult:
+    """The shared sweep behind Figures 4 and 5."""
+    buffer = buffer or BufferConfig()
+    result = BufferSweepResult(counts=tuple(counts), duration=duration)
+    for discipline in disciplines:
+        consumed_row: list[int] = []
+        collision_row: list[int] = []
+        for count in counts:
+            run = run_buffer(
+                BufferParams(
+                    discipline=discipline,
+                    n_producers=count,
+                    duration=duration,
+                    buffer=buffer,
+                    seed=seed,
+                )
+            )
+            consumed_row.append(run.files_consumed)
+            collision_row.append(run.collisions)
+            result.runs.append(run)
+        result.consumed[discipline.name] = consumed_row
+        result.collisions[discipline.name] = collision_row
+    return result
+
+
+#: Figure 4 and Figure 5 are two views of the same sweep.
+run_figure4 = run_buffer_sweep
+run_figure5 = run_buffer_sweep
+
+
+def render_figure4(result: BufferSweepResult) -> str:
+    headers = ["producers"] + [f"{name}" for name in result.consumed]
+    rows = [
+        [count] + [result.consumed[name][idx] for name in result.consumed]
+        for idx, count in enumerate(result.counts)
+    ]
+    table = render_table(headers, rows)
+    chart = ascii_chart(
+        {k: [float(v) for v in vals] for k, vals in result.consumed.items()},
+        list(result.counts),
+        title=f"Figure 4: files consumed in {result.duration:g}s vs producers",
+    )
+    return f"{table}\n\n{chart}"
+
+
+def render_figure5(result: BufferSweepResult) -> str:
+    headers = ["producers"] + [f"{name}" for name in result.collisions]
+    rows = [
+        [count] + [result.collisions[name][idx] for name in result.collisions]
+        for idx, count in enumerate(result.counts)
+    ]
+    table = render_table(headers, rows)
+    chart = ascii_chart(
+        {k: [float(v) for v in vals] for k, vals in result.collisions.items()},
+        list(result.counts),
+        title=f"Figure 5: collisions in {result.duration:g}s vs producers",
+    )
+    return f"{table}\n\n{chart}"

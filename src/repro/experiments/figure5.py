@@ -1,0 +1,21 @@
+"""Figure 5 — "Buffer Collisions" (the collision view of the Figure 4 sweep).
+
+See :mod:`repro.experiments.figure4`; the two figures come from one
+sweep, so this module simply re-exports it under the Figure-5 names.
+"""
+
+from .figure4 import (
+    BufferSweepResult,
+    PAPER_COUNTS,
+    render_figure5 as render,
+    run_buffer_sweep,
+    run_figure5,
+)
+
+__all__ = [
+    "BufferSweepResult",
+    "PAPER_COUNTS",
+    "render",
+    "run_buffer_sweep",
+    "run_figure5",
+]

@@ -1,0 +1,70 @@
+"""Figure 6 — "Aloha File Reader".
+
+Three clients repeatedly fetch a 100 MB file from three single-threaded
+replicas, one of which is a black hole; the Aloha client bounds each
+fetch with a 60 s try.  Cumulative transfers stall for the full 60 s
+whenever a client lands on the black hole (those events are the
+"Collisions" line).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..clients.base import ALOHA, ETHERNET, Discipline
+from ..sim.monitor import TimeSeries
+from .report import render_timeline
+from .scenario_replica import ReplicaParams, ReplicaResult, run_replica
+
+
+@dataclass(slots=True)
+class ReaderTimelineResult:
+    discipline: str
+    duration: float
+    transfers_series: TimeSeries
+    collisions_series: TimeSeries
+    deferrals_series: TimeSeries
+    run: ReplicaResult
+
+
+def run_reader_timeline(
+    discipline: Discipline = ALOHA,
+    duration: float = 900.0,
+    seed: int = 2003,
+    **kwargs,
+) -> ReaderTimelineResult:
+    """Shared runner for Figures 6 and 7."""
+    run = run_replica(
+        ReplicaParams(discipline=discipline, duration=duration, seed=seed, **kwargs)
+    )
+    return ReaderTimelineResult(
+        discipline=discipline.name,
+        duration=duration,
+        transfers_series=run.transfers_series,
+        collisions_series=run.collisions_series,
+        deferrals_series=run.deferrals_series,
+        run=run,
+    )
+
+
+def run_figure6(**kwargs) -> ReaderTimelineResult:
+    """Regenerate Figure 6 (Aloha reader timeline)."""
+    kwargs.setdefault("discipline", ALOHA)
+    return run_reader_timeline(**kwargs)
+
+
+def render(result: ReaderTimelineResult, step: float | None = None) -> str:
+    step = step or max(result.duration / 36.0, 1.0)
+    if result.discipline == ETHERNET.name:
+        series = {
+            "transfers": result.transfers_series,
+            "deferrals": result.deferrals_series,
+        }
+        title = f"Figure 7 ({result.discipline}): cumulative transfers & deferrals"
+    else:
+        series = {
+            "transfers": result.transfers_series,
+            "collisions": result.collisions_series,
+        }
+        title = f"Figure 6 ({result.discipline}): cumulative transfers & collisions"
+    return render_timeline(series, result.duration, step, title=title)

@@ -1,0 +1,137 @@
+"""Plain-text rendering of experiment results: tables and ASCII charts.
+
+The paper's evaluation is seven figures; with no plotting stack available
+offline we render each as (a) the exact data rows, suitable for piping
+into any plotting tool, and (b) a quick ASCII chart for eyeballing the
+shape in a terminal or log file.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..sim.monitor import TimeSeries
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A fixed-width table with right-aligned numeric columns."""
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    lines = [
+        "  ".join(h.rjust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == int(cell) and abs(cell) < 1e15:
+            return str(int(cell))
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def ascii_chart(
+    series: dict[str, list[float]],
+    x_values: Sequence[float],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    markers: str = "*o+x#",
+) -> str:
+    """A crude multi-series scatter chart on a character grid.
+
+    Each named series gets one marker; collisions show the later marker.
+    Good enough to see who wins and where crossovers fall.
+    """
+    if not series or not x_values:
+        return "(no data)"
+    y_max = max((max(vals) for vals in series.values() if vals), default=1.0)
+    y_max = max(y_max, 1e-12)
+    x_min, x_max = min(x_values), max(x_values)
+    span = max(x_max - x_min, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for marker_idx, (name, values) in enumerate(series.items()):
+        mark = markers[marker_idx % len(markers)]
+        for x, y in zip(x_values, values):
+            col = int((x - x_min) / span * (width - 1))
+            row = height - 1 - int(min(y / y_max, 1.0) * (height - 1))
+            grid[row][col] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y_max = {y_max:g}")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" x: {x_min:g} .. {x_max:g}")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)
+
+
+def timeline_rows(
+    series: dict[str, TimeSeries],
+    duration: float,
+    step: float,
+) -> tuple[list[float], dict[str, list[float]]]:
+    """Step-resample several time series onto a common grid."""
+    count = int(duration / step) + 1
+    times = [round(i * step, 9) for i in range(count)]
+    resampled = {name: ts.resample(times) for name, ts in series.items()}
+    return times, resampled
+
+
+def series_csv(
+    series: dict[str, TimeSeries],
+    duration: float,
+    step: float,
+) -> str:
+    """The same resampled grid as :func:`timeline_rows`, as CSV text —
+    for users who want to replot the figures with their own tools."""
+    times, resampled = timeline_rows(series, duration, step)
+    header = ",".join(["t"] + list(resampled))
+    lines = [header]
+    for idx, t in enumerate(times):
+        row = [f"{t:g}"] + [f"{resampled[name][idx]:g}" for name in resampled]
+        lines.append(",".join(row))
+    return "\n".join(lines)
+
+
+def sweep_csv(x_name: str, x_values: Sequence[float],
+              series: dict[str, Sequence[float]]) -> str:
+    """Sweep figures (1, 4, 5) as CSV: one row per x value."""
+    header = ",".join([x_name] + list(series))
+    lines = [header]
+    for idx, x in enumerate(x_values):
+        row = [f"{x:g}"] + [f"{series[name][idx]:g}" for name in series]
+        lines.append(",".join(row))
+    return "\n".join(lines)
+
+
+def render_timeline(
+    series: dict[str, TimeSeries],
+    duration: float,
+    step: float,
+    title: str = "",
+    max_rows: int = 40,
+) -> str:
+    """Data rows + chart for a timeline figure (Figures 2, 3, 6, 7)."""
+    times, resampled = timeline_rows(series, duration, step)
+    stride = max(1, len(times) // max_rows)
+    headers = ["t(s)"] + list(resampled)
+    rows = [
+        [times[i]] + [resampled[name][i] for name in resampled]
+        for i in range(0, len(times), stride)
+    ]
+    table = render_table(headers, rows)
+    chart = ascii_chart(resampled, times, title=title)
+    return f"{title}\n{table}\n\n{chart}" if title else f"{table}\n\n{chart}"

@@ -1,0 +1,202 @@
+"""Regenerate every figure of the paper in one command::
+
+    python -m repro.experiments.runall --scale quick    # ~1 minute
+    python -m repro.experiments.runall --scale medium   # a few minutes
+    python -m repro.experiments.runall --scale full     # paper parameters
+
+Writes one plain-text report per figure into ``--out`` (default
+``./figure_reports``) and prints a summary table of the headline
+numbers — the same numbers EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from dataclasses import dataclass
+
+from .figure1 import render as render1, run_figure1
+from .figure2 import render as render_timeline, run_figure2
+from .figure3 import run_figure3
+from .figure4 import render_figure4, render_figure5, run_buffer_sweep
+from .figure6 import render as render_reader, run_figure6
+from .figure7 import run_figure7
+from .report import series_csv, sweep_csv
+
+
+@dataclass(frozen=True)
+class Scale:
+    name: str
+    fig1_counts: tuple[int, ...]
+    fig1_duration: float
+    timeline_clients: int
+    timeline_duration: float
+    buffer_counts: tuple[int, ...]
+    buffer_duration: float
+    reader_duration: float
+
+
+SCALES = {
+    "quick": Scale(
+        "quick",
+        fig1_counts=(50, 200, 400),
+        fig1_duration=60.0,
+        timeline_clients=200,
+        timeline_duration=300.0,
+        buffer_counts=(5, 25, 50),
+        buffer_duration=30.0,
+        reader_duration=300.0,
+    ),
+    "medium": Scale(
+        "medium",
+        fig1_counts=(50, 150, 250, 350, 400, 450),
+        fig1_duration=120.0,
+        timeline_clients=400,
+        timeline_duration=900.0,
+        buffer_counts=(5, 15, 30, 50),
+        buffer_duration=60.0,
+        reader_duration=900.0,
+    ),
+    "full": Scale(
+        "full",
+        fig1_counts=(25, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500),
+        fig1_duration=300.0,
+        timeline_clients=400,
+        timeline_duration=1800.0,
+        buffer_counts=(5, 10, 15, 20, 25, 30, 35, 40, 45, 50),
+        buffer_duration=60.0,
+        reader_duration=900.0,
+    ),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="medium")
+    parser.add_argument("--out", default="figure_reports")
+    parser.add_argument("--seed", type=int, default=2003)
+    parser.add_argument(
+        "--csv", action="store_true",
+        help="also write machine-readable .csv files per figure",
+    )
+    args = parser.parse_args(argv)
+
+    scale = SCALES[args.scale]
+    os.makedirs(args.out, exist_ok=True)
+
+    def save(name: str, text: str, extension: str = "txt") -> None:
+        path = os.path.join(args.out, f"{name}.{extension}")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"  wrote {path}")
+
+    summary: list[str] = [f"scale={scale.name} seed={args.seed}"]
+
+    started = time.time()
+    print("Figure 1: job-submission sweep ...")
+    fig1 = run_figure1(counts=scale.fig1_counts, duration=scale.fig1_duration,
+                       seed=args.seed)
+    save("figure1", render1(fig1))
+    if args.csv:
+        save("figure1",
+             sweep_csv("submitters", list(fig1.counts),
+                       {k: [float(x) for x in v] for k, v in fig1.jobs.items()}),
+             "csv")
+    last = {name: rows[-1] for name, rows in fig1.jobs.items()}
+    summary.append(
+        f"fig1 @n={scale.fig1_counts[-1]}: fixed={last['fixed']} "
+        f"aloha={last['aloha']} ethernet={last['ethernet']} "
+        f"(peak={max(max(r) for r in fig1.jobs.values())})"
+    )
+
+    print("Figure 2: Aloha submitter timeline ...")
+    fig2 = run_figure2(n_clients=scale.timeline_clients,
+                       duration=scale.timeline_duration, seed=args.seed)
+    save("figure2", render_timeline(fig2))
+    if args.csv:
+        save("figure2",
+             series_csv({"jobs": fig2.jobs_series, "free_fds": fig2.fd_series},
+                        scale.timeline_duration, scale.timeline_duration / 90),
+             "csv")
+    summary.append(
+        f"fig2 aloha: jobs={fig2.run.jobs_submitted} crashes={fig2.run.crashes} "
+        f"fd_min={int(fig2.fd_series.minimum())} fd_max={int(fig2.fd_series.maximum())}"
+    )
+
+    print("Figure 3: Ethernet submitter timeline ...")
+    fig3 = run_figure3(n_clients=scale.timeline_clients,
+                       duration=scale.timeline_duration, seed=args.seed)
+    save("figure3", render_timeline(fig3))
+    if args.csv:
+        save("figure3",
+             series_csv({"jobs": fig3.jobs_series, "free_fds": fig3.fd_series},
+                        scale.timeline_duration, scale.timeline_duration / 90),
+             "csv")
+    summary.append(
+        f"fig3 ethernet: jobs={fig3.run.jobs_submitted} crashes={fig3.run.crashes} "
+        f"fd_min={int(fig3.fd_series.minimum())}"
+    )
+
+    print("Figures 4+5: buffer sweep ...")
+    sweep = run_buffer_sweep(counts=scale.buffer_counts,
+                             duration=scale.buffer_duration, seed=args.seed)
+    save("figure4", render_figure4(sweep))
+    save("figure5", render_figure5(sweep))
+    if args.csv:
+        save("figure4",
+             sweep_csv("producers", list(sweep.counts),
+                       {k: [float(x) for x in v] for k, v in sweep.consumed.items()}),
+             "csv")
+        save("figure5",
+             sweep_csv("producers", list(sweep.counts),
+                       {k: [float(x) for x in v] for k, v in sweep.collisions.items()}),
+             "csv")
+    heavy = -1
+    summary.append(
+        f"fig4 @P={scale.buffer_counts[heavy]}: "
+        + " ".join(f"{k}={v[heavy]}" for k, v in sweep.consumed.items())
+    )
+    summary.append(
+        f"fig5 @P={scale.buffer_counts[heavy]}: "
+        + " ".join(f"{k}={v[heavy]}" for k, v in sweep.collisions.items())
+    )
+
+    print("Figure 6: Aloha reader ...")
+    fig6 = run_figure6(duration=scale.reader_duration, seed=args.seed)
+    save("figure6", render_reader(fig6))
+    if args.csv:
+        save("figure6",
+             series_csv({"transfers": fig6.transfers_series,
+                         "collisions": fig6.collisions_series},
+                        scale.reader_duration, scale.reader_duration / 90),
+             "csv")
+    summary.append(
+        f"fig6 aloha: transfers={fig6.run.transfers} collisions={fig6.run.collisions}"
+    )
+
+    print("Figure 7: Ethernet reader ...")
+    fig7 = run_figure7(duration=scale.reader_duration, seed=args.seed)
+    save("figure7", render_reader(fig7))
+    if args.csv:
+        save("figure7",
+             series_csv({"transfers": fig7.transfers_series,
+                         "deferrals": fig7.deferrals_series},
+                        scale.reader_duration, scale.reader_duration / 90),
+             "csv")
+    summary.append(
+        f"fig7 ethernet: transfers={fig7.run.transfers} "
+        f"collisions={fig7.run.collisions} deferrals={fig7.run.deferrals}"
+    )
+
+    elapsed = time.time() - started
+    summary.append(f"wall time: {elapsed:.1f}s")
+    text = "\n".join(summary)
+    save("summary", text)
+    print("\n" + text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

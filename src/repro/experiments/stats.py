@@ -1,0 +1,102 @@
+"""Replication statistics: run a scenario across seeds, summarize spread.
+
+The paper's figures are single runs on a live testbed.  A simulator can
+do better: :func:`replicate` re-runs any scenario function across a seed
+set and :class:`Summary` reports mean, standard deviation, extremes, and
+a normal-approximation confidence interval — enough to say whether a
+shape claim ("ethernet > aloha") is a property of the system or of one
+lucky seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Five-number-ish summary of replicated scalar measurements."""
+
+    name: str
+    values: tuple[float, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / self.n
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation (ddof=1); 0 for a single value."""
+        if self.n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values) / (self.n - 1))
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values)
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI for the mean (z=1.96 ~ 95%)."""
+        half = z * self.stdev / math.sqrt(self.n) if self.n > 1 else 0.0
+        return (self.mean - half, self.mean + half)
+
+    def __str__(self) -> str:
+        low, high = self.confidence_interval()
+        return (
+            f"{self.name}: mean={self.mean:.2f} sd={self.stdev:.2f} "
+            f"ci95=[{low:.2f}, {high:.2f}] "
+            f"range=[{self.minimum:g}, {self.maximum:g}] n={self.n}"
+        )
+
+
+def replicate(
+    run: Callable[[int], T],
+    seeds: Sequence[int],
+    metrics: dict[str, Callable[[T], float]],
+) -> dict[str, Summary]:
+    """Run ``run(seed)`` for every seed; summarize each metric.
+
+    Args:
+        run: scenario function taking a seed and returning a result.
+        seeds: the replication seeds (e.g. ``range(2003, 2013)``).
+        metrics: name -> extractor pulling one scalar from a result.
+
+    Returns:
+        name -> :class:`Summary` across the seeds.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    results = [run(seed) for seed in seeds]
+    return {
+        name: Summary(name, tuple(float(extract(result)) for result in results))
+        for name, extract in metrics.items()
+    }
+
+
+def dominates(
+    better: Summary, worse: Summary, min_gap: float = 0.0
+) -> bool:
+    """True if ``better`` beats ``worse`` in *every* replication pair.
+
+    A conservative, distribution-free check for shape claims: with common
+    random numbers (same seed list), pairwise comparison removes the
+    shared variance.
+    """
+    if better.n != worse.n:
+        raise ValueError("summaries must come from the same seed list")
+    return all(
+        b > w + min_gap for b, w in zip(better.values, worse.values)
+    )

@@ -1,0 +1,142 @@
+"""One-command reproduction gate: check every figure's shape criteria.
+
+::
+
+    python -m repro.experiments.validate            # quick scale, ~1 min
+    python -m repro.experiments.validate --scale medium
+
+Runs reduced-scale versions of all seven figures and evaluates the shape
+criteria from DESIGN.md §4, printing a PASS/FAIL table.  Exit status 0
+iff every criterion holds — suitable as a CI reproduction check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from .figure1 import run_figure1
+from .figure2 import run_figure2
+from .figure3 import run_figure3
+from .figure4 import run_buffer_sweep
+from .figure6 import run_figure6
+from .figure7 import run_figure7
+
+
+@dataclass(slots=True)
+class Check:
+    figure: str
+    claim: str
+    passed: bool
+    detail: str = ""
+
+
+def validate(scale: str = "quick", seed: int = 2003) -> list[Check]:
+    """Run everything; return one entry per shape criterion."""
+    if scale == "quick":
+        # fig1 window must exceed the schedd restart delay (60 s),
+        # or a crash-looping run scores zero for everyone.
+        fig1_kwargs = dict(counts=(50, 400), duration=150.0)
+        timeline_kwargs = dict(n_clients=400, duration=420.0)
+        buffer_kwargs = dict(counts=(5, 40), duration=45.0)
+        reader_kwargs = dict(duration=600.0)
+    else:  # medium
+        fig1_kwargs = dict(counts=(50, 300, 400, 450), duration=300.0)
+        timeline_kwargs = dict(n_clients=400, duration=1800.0)
+        buffer_kwargs = dict(counts=(5, 25, 50), duration=60.0)
+        reader_kwargs = dict(duration=900.0)
+
+    checks: list[Check] = []
+
+    def check(figure: str, claim: str, passed: bool, detail: str = "") -> None:
+        checks.append(Check(figure, claim, bool(passed), detail))
+
+    # -- Figure 1 -----------------------------------------------------
+    fig1 = run_figure1(seed=seed, **fig1_kwargs)
+    jobs = fig1.jobs
+    check("F1", "fixed collapses to ~0 above its cliff",
+          jobs["fixed"][-1] <= 0.1 * max(jobs["fixed"]),
+          f"fixed={jobs['fixed']}")
+    check("F1", "aloha survives but below ethernet",
+          0 < jobs["aloha"][-1] <= jobs["ethernet"][-1],
+          f"aloha={jobs['aloha'][-1]} ethernet={jobs['ethernet'][-1]}")
+    check("F1", "ethernet holds a large fraction of peak",
+          jobs["ethernet"][-1] >= 0.35 * max(jobs["ethernet"]),
+          f"last={jobs['ethernet'][-1]} peak={max(jobs['ethernet'])}")
+
+    # -- Figure 2 -----------------------------------------------------
+    fig2 = run_figure2(seed=seed, **timeline_kwargs)
+    capacity = fig2.run.params.condor.fd_capacity
+    check("F2", "aloha burst exhausts the FD table",
+          fig2.fd_series.minimum() < 0.1 * capacity,
+          f"min={fig2.fd_series.minimum():.0f}")
+    check("F2", "schedd crashes produce broadcast-jam FD spikes",
+          fig2.run.crashes >= 1 and fig2.fd_series.maximum() >= 0.9 * capacity,
+          f"crashes={fig2.run.crashes}")
+    check("F2", "jobs staircase keeps climbing",
+          fig2.jobs_series.last > 0, f"jobs={fig2.jobs_series.last:.0f}")
+
+    # -- Figure 3 -----------------------------------------------------
+    fig3 = run_figure3(seed=seed, **timeline_kwargs)
+    floor = min(fig3.fd_series.values[2:]) if len(fig3.fd_series) > 2 else 0
+    check("F3", "ethernet preserves the critical FD floor",
+          floor >= 500, f"floor={floor:.0f}")
+    check("F3", "no schedd crashes under ethernet",
+          fig3.run.crashes == 0, f"crashes={fig3.run.crashes}")
+    check("F3", "ethernet outperforms aloha at equal load",
+          fig3.run.jobs_submitted > fig2.run.jobs_submitted,
+          f"{fig3.run.jobs_submitted} vs {fig2.run.jobs_submitted}")
+
+    # -- Figures 4 + 5 -------------------------------------------------
+    sweep = run_buffer_sweep(seed=seed, **buffer_kwargs)
+    consumed, collisions = sweep.consumed, sweep.collisions
+    check("F4", "ethernet >= aloha >= fixed at heavy load",
+          consumed["ethernet"][-1] >= consumed["aloha"][-1] >= consumed["fixed"][-1],
+          f"e={consumed['ethernet'][-1]} a={consumed['aloha'][-1]} f={consumed['fixed'][-1]}")
+    check("F4", "fixed throughput collapses under load",
+          consumed["fixed"][-1] <= 0.5 * max(consumed["fixed"]),
+          f"fixed={consumed['fixed']}")
+    check("F5", "collisions fixed >> aloha >= ethernet",
+          collisions["fixed"][-1] > 5 * collisions["aloha"][-1]
+          and collisions["aloha"][-1] >= collisions["ethernet"][-1],
+          f"f={collisions['fixed'][-1]} a={collisions['aloha'][-1]} "
+          f"e={collisions['ethernet'][-1]}")
+
+    # -- Figures 6 + 7 -------------------------------------------------
+    fig6 = run_figure6(seed=seed, **reader_kwargs)
+    fig7 = run_figure7(seed=seed, **reader_kwargs)
+    check("F6", "aloha pays 60 s black-hole stalls (collisions)",
+          fig6.run.collisions >= 5, f"collisions={fig6.run.collisions}")
+    check("F7", "ethernet replaces collisions with cheap deferrals",
+          fig7.run.collisions <= 5 and fig7.run.deferrals > 0,
+          f"collisions={fig7.run.collisions} deferrals={fig7.run.deferrals}")
+    check("F7", "ethernet transfers more than aloha",
+          fig7.run.transfers > fig6.run.transfers,
+          f"{fig7.run.transfers} vs {fig6.run.transfers}")
+
+    return checks
+
+
+def render(checks: list[Check]) -> str:
+    width = max(len(c.claim) for c in checks)
+    lines = []
+    for c in checks:
+        status = "PASS" if c.passed else "FAIL"
+        lines.append(f"[{status}] {c.figure:<3} {c.claim:<{width}}  {c.detail}")
+    passed = sum(c.passed for c in checks)
+    lines.append(f"{passed}/{len(checks)} shape criteria hold")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=("quick", "medium"), default="quick")
+    parser.add_argument("--seed", type=int, default=2003)
+    args = parser.parse_args(argv)
+    checks = validate(scale=args.scale, seed=args.seed)
+    print(render(checks))
+    return 0 if all(c.passed for c in checks) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

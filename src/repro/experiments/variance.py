@@ -1,0 +1,115 @@
+"""Seed-robustness study: do the paper's shape claims survive replication?
+
+::
+
+    python -m repro.experiments.variance --replications 10
+
+Re-runs the headline comparison of each scenario across seeds and prints
+mean ± CI per discipline, plus a pairwise dominance verdict for each
+shape claim (common random numbers, so pairs share their workload).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..clients.base import ALOHA, ETHERNET, FIXED
+from .scenario_buffer import BufferParams, run_buffer
+from .scenario_replica import ReplicaParams, run_replica
+from .scenario_submit import SubmitParams, run_submission
+from .stats import dominates, replicate
+
+#: Study scale — module-level so tests can shrink it.
+SUBMIT_CLIENTS = 400
+SUBMIT_DURATION = 300.0
+BUFFER_PRODUCERS = 40
+BUFFER_DURATION = 60.0
+READER_DURATION = 900.0
+
+
+def submission_study(seeds) -> list[str]:
+    lines = [f"scenario 1 — {SUBMIT_CLIENTS} submitters, {SUBMIT_DURATION:.0f} s:"]
+    summaries = {}
+    for discipline in (FIXED, ALOHA, ETHERNET):
+        result = replicate(
+            lambda seed, d=discipline: run_submission(
+                SubmitParams(discipline=d, n_clients=SUBMIT_CLIENTS,
+                             duration=SUBMIT_DURATION, seed=seed)
+            ),
+            seeds,
+            {"jobs": lambda r: r.jobs_submitted,
+             "crashes": lambda r: r.crashes},
+        )
+        summaries[discipline.name] = result
+        lines.append(f"  {discipline.name:<9} {result['jobs']}")
+        lines.append(f"  {discipline.name:<9} {result['crashes']}")
+    claim = dominates(summaries["ethernet"]["jobs"], summaries["aloha"]["jobs"])
+    lines.append(f"  claim 'ethernet > aloha jobs' in every replication: {claim}")
+    claim = dominates(summaries["aloha"]["jobs"], summaries["fixed"]["jobs"])
+    lines.append(f"  claim 'aloha > fixed jobs' in every replication: {claim}")
+    return lines
+
+
+def buffer_study(seeds) -> list[str]:
+    lines = [f"scenario 2 — {BUFFER_PRODUCERS} producers, {BUFFER_DURATION:.0f} s:"]
+    summaries = {}
+    for discipline in (FIXED, ALOHA, ETHERNET):
+        result = replicate(
+            lambda seed, d=discipline: run_buffer(
+                BufferParams(discipline=d, n_producers=BUFFER_PRODUCERS,
+                             duration=BUFFER_DURATION, seed=seed)
+            ),
+            seeds,
+            {"consumed": lambda r: r.files_consumed,
+             "collisions": lambda r: r.collisions},
+        )
+        summaries[discipline.name] = result
+        lines.append(f"  {discipline.name:<9} {result['consumed']}")
+        lines.append(f"  {discipline.name:<9} {result['collisions']}")
+    claim = dominates(summaries["aloha"]["consumed"],
+                      summaries["fixed"]["consumed"])
+    lines.append(f"  claim 'aloha > fixed files' in every replication: {claim}")
+    claim = dominates(summaries["fixed"]["collisions"],
+                      summaries["aloha"]["collisions"])
+    lines.append(f"  claim 'fixed > aloha collisions' in every replication: {claim}")
+    return lines
+
+
+def replica_study(seeds) -> list[str]:
+    lines = [f"scenario 3 — 3 readers, {READER_DURATION:.0f} s, one black hole:"]
+    summaries = {}
+    for discipline in (ALOHA, ETHERNET):
+        result = replicate(
+            lambda seed, d=discipline: run_replica(
+                ReplicaParams(discipline=d, duration=READER_DURATION, seed=seed)
+            ),
+            seeds,
+            {"transfers": lambda r: r.transfers,
+             "collisions": lambda r: r.collisions},
+        )
+        summaries[discipline.name] = result
+        lines.append(f"  {discipline.name:<9} {result['transfers']}")
+        lines.append(f"  {discipline.name:<9} {result['collisions']}")
+    claim = dominates(summaries["ethernet"]["transfers"],
+                      summaries["aloha"]["transfers"])
+    lines.append(f"  claim 'ethernet > aloha transfers' in every replication: {claim}")
+    return lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--replications", type=int, default=5)
+    parser.add_argument("--base-seed", type=int, default=2003)
+    args = parser.parse_args(argv)
+    seeds = list(range(args.base_seed, args.base_seed + args.replications))
+
+    for study in (submission_study, buffer_study, replica_study):
+        for line in study(seeds):
+            print(line)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Simulated grid substrates: the contended systems of the paper's scenarios.
+
+* :mod:`.fdtable` + :mod:`.condor` — scenario 1 (job submission)
+* :mod:`.storage` — scenario 2 (shared output buffer)
+* :mod:`.httpserver` — scenario 3 (replicated read, black holes)
+"""
+
+from .archive import ArchiveUploader, WanConfig, WanLink
+from .chimera import (
+    DagDispatcher,
+    DagStats,
+    Task,
+    TaskDAG,
+    bag_of_tasks,
+    chain,
+    layered_dag,
+)
+from .condor import CondorConfig, CondorWorld, Schedd, register_condor_commands
+from .fdtable import FDTable
+from .pool import Job, Worker, WorkerPool
+from .httpserver import (
+    FileServer,
+    ReplicaConfig,
+    ReplicaWorld,
+    register_replica_commands,
+)
+from .storage import (
+    BufferConfig,
+    BufferFile,
+    BufferWorld,
+    SharedBuffer,
+    consumer_process,
+    register_buffer_commands,
+)
+
+__all__ = [
+    "ArchiveUploader",
+    "BufferConfig",
+    "Job",
+    "WanConfig",
+    "WanLink",
+    "Worker",
+    "WorkerPool",
+    "DagDispatcher",
+    "DagStats",
+    "Task",
+    "TaskDAG",
+    "bag_of_tasks",
+    "chain",
+    "layered_dag",
+    "BufferFile",
+    "BufferWorld",
+    "CondorConfig",
+    "CondorWorld",
+    "FDTable",
+    "FileServer",
+    "ReplicaConfig",
+    "ReplicaWorld",
+    "Schedd",
+    "SharedBuffer",
+    "consumer_process",
+    "register_buffer_commands",
+    "register_condor_commands",
+    "register_replica_commands",
+]

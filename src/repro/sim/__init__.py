@@ -1,0 +1,49 @@
+"""A lean discrete-event simulation kernel.
+
+Public surface::
+
+    from repro.sim import Engine, Interrupt
+
+    engine = Engine()
+
+    def worker():
+        yield engine.timeout(5)
+        return "done"
+
+    proc = engine.process(worker())
+    engine.run(until=proc)   # -> "done", engine.now == 5
+
+See :mod:`repro.sim.engine` for the event-loop design and
+:mod:`repro.sim.resources` for the contention primitives.
+"""
+
+from .engine import Engine, INFINITY
+from .events import AllOf, AnyOf, Condition, ConditionValue, Event, Interrupt, Timeout
+from .monitor import Counter, TimeSeries, sample
+from .process import Process, ProcessGenerator
+from .resources import Container, ContainerEvent, Request, Resource, Store, StoreEvent
+from .rng import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "ConditionValue",
+    "Container",
+    "ContainerEvent",
+    "Counter",
+    "Engine",
+    "Event",
+    "INFINITY",
+    "Interrupt",
+    "Process",
+    "ProcessGenerator",
+    "RandomStreams",
+    "Request",
+    "Resource",
+    "Store",
+    "StoreEvent",
+    "TimeSeries",
+    "Timeout",
+    "sample",
+]

@@ -1,0 +1,116 @@
+"""Measurement instruments: time series, counters, periodic samplers.
+
+Every figure in the paper is either a sweep (scalar per configuration) or
+a timeline (series over the run).  :class:`TimeSeries` records stamped
+values, :class:`Counter` is a monotone event count with an optional
+series, and :func:`sample` runs a probe function on a fixed period —
+exactly how the paper's "available FDs" line is drawn.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Engine
+    from .process import Process
+
+
+class TimeSeries:
+    """Time-stamped observations of one quantity."""
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append an observation; time must be non-decreasing."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"series {self.name!r}: time went backwards ({time} < {self.times[-1]})"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def at(self, time: float, default: float = 0.0) -> float:
+        """Value of the most recent observation at or before ``time``."""
+        idx = bisect_right(self.times, time) - 1
+        return self.values[idx] if idx >= 0 else default
+
+    def resample(self, times: list[float], default: float = 0.0) -> list[float]:
+        """Step-interpolate the series onto ``times``."""
+        return [self.at(t, default) for t in times]
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self.times, self.values))
+
+    @property
+    def last(self) -> float:
+        """Most recent value (0.0 if empty)."""
+        return self.values[-1] if self.values else 0.0
+
+    def minimum(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    def maximum(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TimeSeries {self.name!r} n={len(self)}>"
+
+
+class Counter:
+    """A monotone event counter with an optional recorded series."""
+
+    __slots__ = ("name", "count", "series", "_engine")
+
+    def __init__(self, engine: "Engine", name: str = "", keep_series: bool = True) -> None:
+        self._engine = engine
+        self.name = name
+        self.count = 0
+        self.series: TimeSeries | None = TimeSeries(name) if keep_series else None
+
+    def increment(self, amount: int = 1) -> None:
+        """Count ``amount`` occurrences at the current simulation time."""
+        self.count += amount
+        if self.series is not None:
+            self.series.record(self._engine.now, self.count)
+
+    def __int__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name!r} count={self.count}>"
+
+
+def sample(
+    engine: "Engine",
+    interval: float,
+    probe: Callable[[], float],
+    series: TimeSeries,
+    until: float | None = None,
+) -> "Process":
+    """Run ``probe`` every ``interval`` seconds and record into ``series``.
+
+    Records one sample immediately at start.  Stops at ``until`` (if
+    given) or runs until the engine's horizon drains the queue.
+    """
+    if interval <= 0:
+        raise ValueError(f"sample interval must be > 0, got {interval}")
+
+    def _sampler() -> Any:
+        while until is None or engine.now <= until:
+            series.record(engine.now, probe())
+            yield engine.timeout(interval)
+
+    return engine.process(_sampler(), name=f"sampler:{series.name}")

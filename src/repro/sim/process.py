@@ -1,0 +1,130 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that yields :class:`~repro.sim.events.Event`
+objects; the engine resumes it with the event's value when the event is
+processed (or throws the event's exception into it if the event failed).
+A :class:`Process` is itself an event, triggered when the generator
+returns — so processes can wait on each other, be combined with
+``AllOf``/``AnyOf``, and be interrupted.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from ..core.errors import SimulationError
+from .events import Event, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Engine
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running generator inside the simulation.
+
+    The process event succeeds with the generator's return value, or fails
+    with its uncaught exception.
+    """
+
+    __slots__ = ("generator", "_target", "name")
+
+    def __init__(self, engine: "Engine", generator: ProcessGenerator, name: str = "") -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"process body must be a generator, got {generator!r}")
+        super().__init__(engine)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None if running
+        #: or terminated).
+        self._target: Event | None = None
+        # Kick off at the current simulation time.  Urgent priority so a
+        # process interrupted in its creation instant still *starts* before
+        # the interrupt lands (throwing into a never-started generator
+        # would bypass its try/except entirely).
+        bootstrap = Event(engine)
+        bootstrap._ok = True
+        bootstrap._value = None
+        bootstrap.callbacks.append(self._resume)
+        engine._schedule(bootstrap, priority=0)
+
+    @property
+    def is_alive(self) -> bool:
+        """True until the generator has returned or raised."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its next resumption.
+
+        Interrupting a terminated process is an error; interrupting a
+        process twice before it runs queues both interrupts.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt terminated process {self.name!r}")
+        if self is self.engine.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        carrier = Event(self.engine)
+        carrier._ok = False
+        carrier._value = Interrupt(cause)
+        carrier._defused = True
+        carrier.callbacks.append(self._resume)
+        self.engine._schedule(carrier, priority=0)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        if self.triggered:
+            return  # a queued interrupt arrived after termination; drop it
+        # Detach from the event we were waiting on (relevant for interrupts:
+        # the original target may still fire later and must not resume us).
+        if self._target is not None and self._target is not event:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except (ValueError, AttributeError):
+                pass
+        self._target = None
+
+        self.engine.active_process = self
+        try:
+            if event.ok:
+                target = self.generator.send(event.value)
+            else:
+                event.defuse()
+                target = self.generator.throw(event.value)
+        except StopIteration as stop:
+            self.engine.active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.engine.active_process = None
+            self.fail(exc)
+            return
+        self.engine.active_process = None
+
+        if not isinstance(target, Event):
+            # Nudge the generator with a clear error at its own yield point.
+            error = SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield events"
+            )
+            carrier = Event(self.engine)
+            carrier._ok = False
+            carrier._value = error
+            carrier._defused = True
+            carrier.callbacks.append(self._resume)
+            self.engine._schedule(carrier)
+            return
+        if target.engine is not self.engine:
+            raise SimulationError("process yielded an event from a different engine")
+        if target.processed:
+            # Already resolved: resume immediately (next engine step).
+            carrier = Event(self.engine)
+            carrier._ok = target._ok
+            carrier._value = target._value
+            if not target.ok:
+                target.defuse()
+                carrier._defused = True
+            carrier.callbacks.append(self._resume)
+            self.engine._schedule(carrier)
+        else:
+            target.callbacks.append(self._resume)
+            self._target = target

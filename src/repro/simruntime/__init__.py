@@ -1,0 +1,18 @@
+"""Binding of the ftsh interpreter to the simulation kernel.
+
+* :class:`SimDriver` — executes interpreter effects in virtual time.
+* :class:`CommandRegistry` / :class:`CommandContext` — simulated commands.
+* :class:`SimFtsh` — convenience front-end: scripts as sim processes.
+"""
+
+from .driver import SimDriver
+from .registry import CommandContext, CommandRegistry, normalize_result
+from .shell import SimFtsh
+
+__all__ = [
+    "CommandContext",
+    "CommandRegistry",
+    "SimDriver",
+    "SimFtsh",
+    "normalize_result",
+]

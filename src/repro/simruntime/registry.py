@@ -1,0 +1,135 @@
+"""Simulated commands: the things ftsh scripts invoke inside the simulator.
+
+A *simulated command* is a generator function (a simulation process body)
+registered under a command name.  When an ftsh script run by the
+:class:`~repro.simruntime.driver.SimDriver` executes ``condor_submit
+job``, the driver looks up ``condor_submit`` here and runs the handler in
+virtual time.
+
+Handler contract::
+
+    @registry.register("mycmd")
+    def mycmd(ctx: CommandContext):
+        yield ctx.engine.timeout(1.5)        # take simulated time
+        return 0                              # exit code
+        # or: return (0, "output text")
+        # or: return CommandResult(...)
+
+* Handlers hold simulated resources; if they can be interrupted while
+  holding them (deadline expiry, forall cancellation), they must catch
+  :class:`~repro.sim.Interrupt`, release, and return.  An uncaught
+  Interrupt is converted by the driver into command death (nonzero,
+  timed out) — resources held through it leak, exactly like a real
+  process killed with SIGKILL would leak disk files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from ..core.effects import CommandResult
+from ..core.errors import FtshRuntimeError
+from ..sim.engine import Engine
+
+#: What a handler may return.
+HandlerReturn = CommandResult | int | tuple[int, str] | None
+CommandHandler = Callable[["CommandContext"], Generator[Any, Any, HandlerReturn]]
+
+
+@dataclass(slots=True)
+class CommandContext:
+    """Everything a simulated command can see."""
+
+    argv: list[str]
+    engine: Engine
+    world: Any
+    stdin_data: Optional[str] = None
+    #: The shell (client) name that invoked the command, for per-client
+    #: random streams and metrics.
+    client: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.argv[0]
+
+    @property
+    def args(self) -> list[str]:
+        return self.argv[1:]
+
+
+def normalize_result(value: HandlerReturn, command: str) -> CommandResult:
+    """Coerce a handler's return value into a :class:`CommandResult`."""
+    if value is None:
+        return CommandResult(exit_code=0)
+    if isinstance(value, CommandResult):
+        return value
+    if isinstance(value, int):
+        return CommandResult(exit_code=value)
+    if isinstance(value, tuple) and len(value) == 2:
+        code, output = value
+        return CommandResult(exit_code=int(code), output=str(output))
+    raise FtshRuntimeError(
+        f"simulated command {command!r} returned {value!r}; expected "
+        "None, int, (int, str) or CommandResult"
+    )
+
+
+class CommandRegistry:
+    """Name -> handler mapping, with a few built-in shell-like commands."""
+
+    def __init__(self, include_builtins: bool = True) -> None:
+        self._handlers: dict[str, CommandHandler] = {}
+        if include_builtins:
+            register_builtins(self)
+
+    def register(self, name: str) -> Callable[[CommandHandler], CommandHandler]:
+        """Decorator: ``@registry.register("wget")``."""
+
+        def decorate(handler: CommandHandler) -> CommandHandler:
+            self._handlers[name] = handler
+            return handler
+
+        return decorate
+
+    def add(self, name: str, handler: CommandHandler) -> None:
+        self._handlers[name] = handler
+
+    def get(self, name: str) -> Optional[CommandHandler]:
+        return self._handlers.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._handlers
+
+    def names(self) -> list[str]:
+        return sorted(self._handlers)
+
+
+def register_builtins(registry: CommandRegistry) -> None:
+    """Tiny POSIX-ish builtins so scripts read naturally in simulation."""
+
+    @registry.register("echo")
+    def echo(ctx: CommandContext):
+        return 0, " ".join(ctx.args) + "\n"
+        yield  # pragma: no cover - generator marker
+
+    @registry.register("true")
+    def true(ctx: CommandContext):
+        return 0
+        yield  # pragma: no cover
+
+    @registry.register("false")
+    def false(ctx: CommandContext):
+        return 1
+        yield  # pragma: no cover
+
+    @registry.register("cat")
+    def cat(ctx: CommandContext):
+        return 0, ctx.stdin_data or ""
+        yield  # pragma: no cover
+
+    @registry.register("sleep")
+    def sleep(ctx: CommandContext):
+        duration = float(ctx.args[0]) if ctx.args else 0.0
+        yield ctx.engine.timeout(duration)
+        return 0

@@ -1,0 +1,37 @@
+"""Lexical block-depth measurement for the REPL's continuation prompt.
+
+``block_depth(text)`` counts how many blocks (``try``, ``forany``,
+``forall``, ``if``, ``function``) are still open at the end of ``text``.
+It tokenizes (so quoting and comments are respected) and recognizes
+openers only in statement position — exactly the parser's keyword rule —
+which keeps ``echo try`` from opening a phantom block.
+"""
+
+from __future__ import annotations
+
+from .core.lexer import tokenize
+from .core.tokens import TokenKind
+
+_OPENERS = frozenset({"try", "forany", "forall", "if", "function"})
+_CLOSER = "end"
+
+
+def block_depth(text: str) -> int:
+    """Open-block count at end of ``text``; may raise FtshSyntaxError for
+    lexically unterminated input (unclosed quotes)."""
+    depth = 0
+    at_statement_start = True
+    for token in tokenize(text):
+        if token.kind is TokenKind.NEWLINE:
+            at_statement_start = True
+            continue
+        if token.kind is TokenKind.EOF:
+            break
+        if token.kind is TokenKind.WORD and at_statement_start:
+            keyword = token.word.keyword()
+            if keyword in _OPENERS:
+                depth += 1
+            elif keyword == _CLOSER:
+                depth -= 1
+        at_statement_start = False
+    return depth

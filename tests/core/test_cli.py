@@ -1,0 +1,89 @@
+"""The ``ftsh`` command-line front end."""
+
+import pytest
+
+from repro.cli import _parse_timeout, main
+
+
+def write_script(tmp_path, text, name="script.ftsh"):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+class TestTimeoutParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("300", 300.0),
+            ("300s", 300.0),
+            ("5 minutes", 300.0),
+            ("5minutes", 300.0),
+            ("1.5h", 5400.0),
+            ("2 hours", 7200.0),
+        ],
+    )
+    def test_accepted_forms(self, text, expected):
+        assert _parse_timeout(text) == expected
+
+
+class TestExitCodes:
+    def test_success(self, tmp_path):
+        assert main([write_script(tmp_path, "sh -c 'exit 0'")]) == 0
+
+    def test_script_failure(self, tmp_path):
+        assert main([write_script(tmp_path, "sh -c 'exit 1'")]) == 1
+
+    def test_syntax_error(self, tmp_path, capsys):
+        code = main([write_script(tmp_path, "try 5 times\ncmd\n")])
+        assert code == 2
+        assert "ftsh:" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["/nonexistent/path.ftsh"]) == 2
+
+    def test_inline_command(self):
+        assert main(["-c", "sh -c 'exit 0'"]) == 0
+
+    def test_inline_failure(self):
+        assert main(["-c", "failure"]) == 1
+
+
+class TestOptions:
+    def test_parse_only_valid(self, tmp_path):
+        assert main(["--parse-only", write_script(tmp_path, "try 1 times\nx=1\nend")]) == 0
+
+    def test_parse_only_does_not_run(self, tmp_path):
+        marker = tmp_path / "ran"
+        script = write_script(tmp_path, f"touch {marker}")
+        assert main(["--parse-only", script]) == 0
+        assert not marker.exists()
+
+    def test_defines(self, tmp_path):
+        target = tmp_path / "out"
+        script = write_script(tmp_path, f"echo ${{greeting}} > {target}")
+        assert main(["-D", "greeting=hello", script]) == 0
+        assert target.read_text().strip() == "hello"
+
+    def test_bad_define(self, tmp_path):
+        assert main(["-D", "novalue", write_script(tmp_path, "x=1")]) == 2
+
+    def test_timeout_kills(self, tmp_path):
+        import time
+
+        started = time.monotonic()
+        code = main(["-t", "0.5", write_script(tmp_path, "sleep 30")])
+        assert code == 1
+        assert time.monotonic() - started < 10
+
+    def test_bad_timeout(self, tmp_path):
+        assert main(["-t", "soon", write_script(tmp_path, "x=1")]) == 2
+
+    def test_log_file(self, tmp_path):
+        log = tmp_path / "run.log"
+        assert main(["--log", str(log), "-c", "x=1"]) == 0
+        assert "script-result" in log.read_text()
+
+    def test_summary(self, capsys):
+        assert main(["--summary", "-c", "x=1"]) == 0
+        assert "execution log summary" in capsys.readouterr().err

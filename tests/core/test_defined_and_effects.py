@@ -1,0 +1,101 @@
+"""The ``.defined.`` extension, effect dataclasses, and driver edges."""
+
+import pytest
+
+from repro.core.ast_nodes import Defined
+from repro.core.effects import CommandResult, RunCommand, Sleep
+from repro.core.errors import FtshSyntaxError
+from repro.core.parser import parse
+from repro.core.timeline import UNBOUNDED
+from repro.sim import Engine
+from repro.simruntime import CommandRegistry, SimFtsh
+
+
+class TestDefinedOperator:
+    def test_parses(self):
+        script = parse("if .defined. x\n  success\nend")
+        assert isinstance(script.body.body[0].condition, Defined)
+
+    def test_needs_plain_name(self):
+        with pytest.raises(FtshSyntaxError):
+            parse("if .defined. ${x}\n  success\nend")
+        with pytest.raises(FtshSyntaxError):
+            parse("if .defined.\n  success\nend")
+
+    def test_semantics(self):
+        shell = SimFtsh(Engine(), CommandRegistry())
+        result = shell.run(
+            """
+if .defined. x
+    failure
+end
+x=set
+if .not. .defined. x
+    failure
+end
+"""
+        )
+        assert result.success
+
+    def test_guards_capture_use(self):
+        """The motivating pattern: test a capture before expanding it."""
+        engine = Engine()
+        registry = CommandRegistry()
+
+        @registry.register("maybe")
+        def maybe(ctx):
+            return 1, ""  # fails; never produces output
+            yield  # pragma: no cover
+
+        shell = SimFtsh(engine, registry)
+        result = shell.run(
+            """
+try 1 times
+    maybe -> answer
+catch
+    success
+end
+if .defined. answer
+    failure
+end
+"""
+        )
+        assert result.success
+
+    def test_composes_with_booleans(self):
+        shell = SimFtsh(Engine(), CommandRegistry())
+        result = shell.run(
+            "a=1\nif .defined. a .and. .not. .defined. b\n  success\nelse\n  failure\nend"
+        )
+        assert result.success
+
+
+class TestEffectDataclasses:
+    def test_command_result_ok(self):
+        assert CommandResult(exit_code=0).ok
+        assert not CommandResult(exit_code=1).ok
+        assert not CommandResult(exit_code=0, timed_out=True).ok
+
+    def test_run_command_defaults(self):
+        effect = RunCommand(argv=["x"])
+        assert effect.deadline == UNBOUNDED
+        assert not effect.capture
+        assert effect.stdin_data is None
+
+    def test_sleep_defaults(self):
+        assert Sleep(duration=5.0).deadline == UNBOUNDED
+
+
+class TestSimDriverEdges:
+    def test_stdin_file_unsupported_in_sim(self):
+        shell = SimFtsh(Engine(), CommandRegistry())
+        result = shell.run("cat < /some/file")
+        assert not result.success
+        assert "exited 1" in result.reason
+
+    def test_file_redirect_targets_ignored_gracefully(self):
+        # `>` to a file in sim: output simply isn't captured anywhere, but
+        # the command still runs and succeeds.
+        shell = SimFtsh(Engine(), CommandRegistry())
+        result = shell.run("echo hi > /tmp/whatever")
+        assert result.success

@@ -1,0 +1,164 @@
+"""White-box tests of the sans-IO contract: drive the interpreter
+generator by hand and assert the exact effect sequence."""
+
+import pytest
+
+from repro.core.backoff import BackoffPolicy
+from repro.core.effects import (
+    CommandResult,
+    GetRandom,
+    GetTime,
+    RunCommand,
+    RunParallel,
+    Sleep,
+    SleepResult,
+)
+from repro.core.errors import FtshFailure, FtshTimeout
+from repro.core.interpreter import Interpreter
+from repro.core.parser import parse
+from repro.core.timeline import UNBOUNDED
+
+DETERMINISTIC = BackoffPolicy(jitter_low=1.0, jitter_high=1.0)
+
+
+class HandDriver:
+    """A scripted driver: replay canned results, record every effect."""
+
+    def __init__(self, clock_start=0.0):
+        self.now = clock_start
+        self.effects = []
+
+    def drive(self, generator, command_results):
+        """Feed command results in order; auto-answer time/random/sleep."""
+        results = iter(command_results)
+        try:
+            effect = generator.send(None)
+            while True:
+                self.effects.append(effect)
+                if isinstance(effect, GetTime):
+                    answer = self.now
+                elif isinstance(effect, GetRandom):
+                    answer = 0.0
+                elif isinstance(effect, Sleep):
+                    slept = min(effect.duration, effect.deadline - self.now)
+                    self.now += max(slept, 0.0)
+                    answer = SleepResult(
+                        slept=max(slept, 0.0),
+                        timed_out=effect.deadline - (self.now - max(slept, 0.0))
+                        < effect.duration,
+                    )
+                elif isinstance(effect, RunCommand):
+                    answer = next(results)
+                    self.now += getattr(answer, "_takes", 0.0)
+                else:
+                    raise AssertionError(f"unexpected effect {effect!r}")
+                effect = generator.send(answer)
+        except StopIteration:
+            return None
+        except (FtshFailure, FtshTimeout) as control:
+            return control
+
+
+def run(script_text, command_results, policy=DETERMINISTIC):
+    driver = HandDriver()
+    interpreter = Interpreter(policy=policy)
+    generator = interpreter.execute(parse(script_text), UNBOUNDED)
+    outcome = driver.drive(generator, command_results)
+    return driver, outcome, interpreter
+
+
+class TestEffectSequences:
+    def test_single_command(self):
+        driver, outcome, _ = run("wget url", [CommandResult(0)])
+        kinds = [type(e).__name__ for e in driver.effects]
+        assert kinds == ["RunCommand"]
+        assert outcome is None
+
+    def test_command_carries_argv_and_deadline(self):
+        driver, _, _ = run("wget http://x/y", [CommandResult(0)])
+        effect = driver.effects[0]
+        assert effect.argv == ["wget", "http://x/y"]
+        assert effect.deadline == UNBOUNDED
+
+    def test_try_effect_pattern(self):
+        """try = GetTime, then per retry: GetTime, GetRandom, Sleep."""
+        driver, outcome, _ = run(
+            "try 3 times\n  wget url\nend",
+            [CommandResult(1), CommandResult(1), CommandResult(0)],
+        )
+        kinds = [type(e).__name__ for e in driver.effects]
+        assert kinds == [
+            "GetTime",                                   # try entry
+            "RunCommand",                                # attempt 1
+            "GetTime", "GetRandom", "Sleep",             # backoff 1
+            "RunCommand",                                # attempt 2
+            "GetTime", "GetRandom", "Sleep",             # backoff 2
+            "RunCommand",                                # attempt 3
+        ]
+        assert outcome is None
+
+    def test_backoff_sleep_durations_deterministic(self):
+        driver, _, _ = run(
+            "try 4 times\n  wget url\nend",
+            [CommandResult(1)] * 4,
+        )
+        sleeps = [e.duration for e in driver.effects if isinstance(e, Sleep)]
+        assert sleeps == [1.0, 2.0, 4.0]
+
+    def test_deadline_stamped_on_inner_command(self):
+        driver, _, _ = run(
+            "try for 60 seconds\n  wget url\nend",
+            [CommandResult(0)],
+        )
+        command = next(e for e in driver.effects if isinstance(e, RunCommand))
+        assert command.deadline == pytest.approx(60.0)
+
+    def test_nested_deadline_clipped(self):
+        driver, _, _ = run(
+            "try for 60 seconds\n  try for 500 seconds\n    wget u\n  end\nend",
+            [CommandResult(0)],
+        )
+        command = next(e for e in driver.effects if isinstance(e, RunCommand))
+        assert command.deadline == pytest.approx(60.0)
+
+    def test_capture_flag_for_variable_redirect(self):
+        driver, _, interp = run("echo hi -> v", [CommandResult(0, output="hi\n")])
+        effect = driver.effects[0]
+        assert effect.capture is True
+        assert interp.scope.get("v") == "hi"
+
+    def test_merge_stderr_flag(self):
+        driver, _, _ = run("cmd ->& v", [CommandResult(0, output="")])
+        assert driver.effects[0].merge_stderr is True
+
+    def test_stdin_data_from_variable(self):
+        driver, _, _ = run(
+            "x=payload\ncmd -< x", [CommandResult(0)]
+        )
+        command = next(e for e in driver.effects if isinstance(e, RunCommand))
+        assert command.stdin_data == "payload"
+
+    def test_timed_out_result_raises_timeout(self):
+        _, outcome, _ = run(
+            "try for 60 seconds\n  wget url\nend",
+            [CommandResult(-1, timed_out=True)],
+        )
+        assert isinstance(outcome, FtshFailure)  # try converts its expiry
+
+    def test_forall_yields_runparallel_with_branches(self):
+        driver = HandDriver()
+        interpreter = Interpreter(policy=DETERMINISTIC)
+        generator = interpreter.execute(
+            parse("forall x in a b c\n  cmd ${x}\nend"), UNBOUNDED
+        )
+        effect = generator.send(None)
+        assert isinstance(effect, RunParallel)
+        assert len(effect.branches) == 3
+        assert [b.name for b in effect.branches] == [
+            "x=a#0", "x=b#1", "x=c#2"
+        ]
+
+    def test_no_effects_for_pure_statements(self):
+        driver, outcome, _ = run("x=1\nsuccess\nif ${x} .eq. 1\n  y=2\nend", [])
+        assert driver.effects == []
+        assert outcome is None

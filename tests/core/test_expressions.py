@@ -1,0 +1,99 @@
+"""Condition evaluation."""
+
+import pytest
+
+from repro.core.errors import FtshFailure
+from repro.core.expressions import evaluate, truthy
+from repro.core.parser import parse
+from repro.core.variables import Scope
+
+
+def eval_cond(condition_text, **variables):
+    """Parse ``if <cond>`` and evaluate just the condition."""
+    script = parse(f"if {condition_text}\n  success\nend")
+    node = script.body.body[0]
+    return evaluate(node.condition, Scope(variables))
+
+
+class TestTruthy:
+    @pytest.mark.parametrize("text", ["1", "yes", "x", "-1", "true", "00"])
+    def test_true(self, text):
+        assert truthy(text)
+
+    @pytest.mark.parametrize("text", ["", "0", "false", "FALSE", "False"])
+    def test_false(self, text):
+        assert not truthy(text)
+
+
+class TestNumericComparators:
+    def test_lt(self):
+        assert eval_cond("${n} .lt. 1000", n="500")
+        assert not eval_cond("${n} .lt. 1000", n="1000")
+
+    def test_gt(self):
+        assert eval_cond("2 .gt. 1")
+        assert not eval_cond("1 .gt. 2")
+
+    def test_le_ge(self):
+        assert eval_cond("5 .le. 5")
+        assert eval_cond("5 .ge. 5")
+        assert not eval_cond("6 .le. 5")
+
+    def test_eq_ne(self):
+        assert eval_cond("5 .eq. 5.0")
+        assert eval_cond("5 .ne. 6")
+
+    def test_float_operands(self):
+        assert eval_cond("${free} .le. 0", free="-3.25")
+
+    def test_non_numeric_fails(self):
+        with pytest.raises(FtshFailure):
+            eval_cond("${n} .lt. 1000", n="lots")
+
+    def test_undefined_variable_fails(self):
+        with pytest.raises(FtshFailure):
+            eval_cond("${missing} .lt. 1")
+
+
+class TestStringComparators:
+    def test_eql(self):
+        assert eval_cond("${a} .eql. hello", a="hello")
+        assert not eval_cond("${a} .eql. hello", a="HELLO")
+
+    def test_neql(self):
+        assert eval_cond("${a} .neql. world", a="hello")
+
+    def test_numeric_text_compared_as_text(self):
+        # .eql. is textual: "5" != "5.0"
+        assert not eval_cond("5 .eql. 5.0")
+
+
+class TestBooleans:
+    def test_and(self):
+        assert eval_cond("1 .lt. 2 .and. 3 .lt. 4")
+        assert not eval_cond("1 .lt. 2 .and. 4 .lt. 3")
+
+    def test_or(self):
+        assert eval_cond("2 .lt. 1 .or. 3 .lt. 4")
+        assert not eval_cond("2 .lt. 1 .or. 4 .lt. 3")
+
+    def test_not(self):
+        assert eval_cond(".not. 0")
+        assert not eval_cond(".not. 1")
+
+    def test_precedence_and_binds_tighter(self):
+        # true .or. (false .and. false) == true
+        assert eval_cond("1 .or. 0 .and. 0")
+
+    def test_parentheses_override(self):
+        # (true .or. false) .and. false == false
+        assert not eval_cond("( 1 .or. 0 ) .and. 0")
+
+    def test_bare_operand(self):
+        assert eval_cond("${flag}", flag="yes")
+        assert not eval_cond("${flag}", flag="0")
+
+    def test_both_sides_evaluate(self):
+        # failure on the right side surfaces even when left decides
+        with pytest.raises(FtshFailure):
+            eval_cond("1 .or. ${missing} .lt. 2")

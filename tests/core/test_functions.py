@@ -1,0 +1,175 @@
+"""ftsh functions (tech-report extension): definition, calls, positionals."""
+
+import pytest
+
+from repro.core.ast_nodes import FunctionDef
+from repro.core.backoff import BackoffPolicy
+from repro.core.errors import FtshSyntaxError
+from repro.core.parser import parse
+from repro.sim import Engine
+from repro.simruntime import CommandRegistry, SimFtsh
+
+DETERMINISTIC = BackoffPolicy(jitter_low=1.0, jitter_high=1.0)
+
+
+def make_shell():
+    engine = Engine()
+    registry = CommandRegistry()
+    return engine, registry, SimFtsh(engine, registry, policy=DETERMINISTIC)
+
+
+class TestParsing:
+    def test_definition(self):
+        script = parse("function greet\n  echo hi\nend")
+        node = script.body.body[0]
+        assert isinstance(node, FunctionDef)
+        assert node.name == "greet"
+
+    def test_needs_name(self):
+        with pytest.raises(FtshSyntaxError):
+            parse("function\n  echo hi\nend")
+
+    def test_needs_plain_name(self):
+        with pytest.raises(FtshSyntaxError):
+            parse("function ${x}\n  echo hi\nend")
+
+    def test_needs_end(self):
+        with pytest.raises(FtshSyntaxError):
+            parse("function f\n  echo hi\n")
+
+    def test_positional_lexing(self):
+        script = parse("function f\n  echo $1 ${2} ${#}\nend")
+        assert isinstance(script.body.body[0], FunctionDef)
+
+
+class TestCalls:
+    def test_basic_call(self):
+        _, _, shell = make_shell()
+        result = shell.run(
+            "function hello\n  echo hey -> out\nend\nhello"
+        )
+        assert result.success
+        assert result.variables["out"] == "hey"
+
+    def test_positionals(self):
+        _, _, shell = make_shell()
+        result = shell.run(
+            'function join\n  echo "$1+$2 of ${#}" -> out\nend\njoin a b'
+        )
+        assert result.variables["out"] == "a+b of 2"
+
+    def test_dollar_zero_is_name(self):
+        _, _, shell = make_shell()
+        result = shell.run("function me\n  echo $0 -> out\nend\nme")
+        assert result.variables["out"] == "me"
+
+    def test_positionals_restored_after_call(self):
+        _, _, shell = make_shell()
+        result = shell.run(
+            """
+function inner
+    echo $1 -> from_inner
+end
+function outer
+    inner nested
+    echo $1 -> from_outer
+end
+outer original
+"""
+        )
+        assert result.variables["from_inner"] == "nested"
+        assert result.variables["from_outer"] == "original"
+
+    def test_positionals_unbound_outside(self):
+        _, _, shell = make_shell()
+        result = shell.run(
+            "function f\n  success\nend\nf arg\nif .defined. 1\n  failure\nend"
+        )
+        assert result.success
+
+    def test_writes_are_shared(self):
+        _, _, shell = make_shell()
+        result = shell.run(
+            "function setit\n  x=from-function\nend\nsetit\necho ${x} -> out"
+        )
+        assert result.variables["out"] == "from-function"
+
+    def test_failure_propagates(self):
+        _, _, shell = make_shell()
+        result = shell.run("function f\n  failure\nend\nf")
+        assert not result.success
+
+    def test_function_must_be_defined_before_call(self):
+        _, _, shell = make_shell()
+        result = shell.run("f\nfunction f\n  success\nend")
+        assert not result.success  # 'f' is an unknown command at call time
+
+    def test_redefinition_wins(self):
+        _, _, shell = make_shell()
+        result = shell.run(
+            "function f\n  failure\nend\n"
+            "function f\n  success\nend\n"
+            "f"
+        )
+        assert result.success
+
+    def test_redirect_on_call_rejected_at_runtime(self):
+        _, _, shell = make_shell()
+        result = shell.run("function f\n  success\nend\nf -> v")
+        assert not result.success
+
+    def test_call_inside_try_retries(self):
+        engine, registry, shell = make_shell()
+        calls = []
+
+        @registry.register("flaky")
+        def flaky(ctx):
+            calls.append(1)
+            yield ctx.engine.timeout(0.1)
+            return 0 if len(calls) >= 3 else 1
+
+        result = shell.run(
+            "function attempt\n  flaky\nend\ntry for 1 hour\n  attempt\nend"
+        )
+        assert result.success
+        assert len(calls) == 3
+
+    def test_call_inside_forall_branches(self):
+        engine, registry, shell = make_shell()
+
+        @registry.register("work")
+        def work(ctx):
+            yield ctx.engine.timeout(float(ctx.args[0]))
+            return 0
+
+        result = shell.run(
+            "function w\n  work $1\nend\nforall t in 1 2 3\n  w ${t}\nend"
+        )
+        assert result.success
+        assert engine.now == pytest.approx(3.0)
+
+    def test_recursion_depth_guard(self):
+        _, _, shell = make_shell()
+        result = shell.run("function loop\n  loop\nend\nloop")
+        assert not result.success
+        assert "recursion" in result.reason
+
+    def test_bounded_recursion_works(self):
+        _, _, shell = make_shell()
+        result = shell.run(
+            """
+function count
+    if ${1} .le. 0
+        success
+    else
+        n=${1}
+        dec ${n}
+    end
+end
+function dec
+    count 0
+end
+count 5
+"""
+        )
+        assert result.success

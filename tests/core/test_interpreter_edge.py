@@ -1,0 +1,246 @@
+"""Interpreter corner cases beyond the main semantics suite."""
+
+import pytest
+
+from repro.core.backoff import BackoffPolicy
+from repro.sim import Engine
+from repro.simruntime import CommandRegistry, SimFtsh
+
+DETERMINISTIC = BackoffPolicy(jitter_low=1.0, jitter_high=1.0)
+
+
+def make_shell(policy=DETERMINISTIC):
+    engine = Engine()
+    registry = CommandRegistry()
+    shell = SimFtsh(engine, registry, policy=policy)
+    return engine, registry, shell
+
+
+class TestTryEdgeCases:
+    def test_zero_second_window_runs_once(self):
+        engine, registry, shell = make_shell()
+        calls = []
+
+        @registry.register("mark")
+        def mark(ctx):
+            calls.append(engine.now)
+            return 1
+            yield  # pragma: no cover
+
+        result = shell.run("try for 0 seconds\n  mark\nend")
+        assert not result.success
+        # The deadline passes before the first command effect executes,
+        # so the attempt is cut off immediately.
+        assert len(calls) <= 1
+
+    def test_every_with_attempt_limit(self):
+        engine, registry, shell = make_shell()
+        calls = []
+
+        @registry.register("mark")
+        def mark(ctx):
+            calls.append(engine.now)
+            yield ctx.engine.timeout(0.5)
+            return 1
+
+        result = shell.run("try 3 times every 2 seconds\n  mark\nend")
+        assert not result.success
+        assert calls == [0.0, 2.5, 5.0]
+
+    def test_one_time_is_no_retry(self):
+        engine, registry, shell = make_shell()
+        calls = []
+
+        @registry.register("mark")
+        def mark(ctx):
+            calls.append(1)
+            return 1
+            yield  # pragma: no cover
+
+        shell.run("try 1 times\n  mark\nend")
+        assert len(calls) == 1
+
+    def test_nested_catch_inside_catch(self):
+        engine, registry, shell = make_shell()
+        result = shell.run(
+            """
+try 1 times
+    failure
+catch
+    try 1 times
+        failure
+    catch
+        success
+    end
+end
+"""
+        )
+        assert result.success
+
+    def test_try_body_with_assignment_only(self):
+        engine, registry, shell = make_shell()
+        result = shell.run("try 5 times\n  x=1\nend")
+        assert result.success  # assignments succeed; one attempt suffices
+
+    def test_empty_try_body_succeeds(self):
+        engine, registry, shell = make_shell()
+        assert shell.run("try 3 times\nend").success
+
+    def test_backoff_resets_between_try_constructs(self):
+        engine, registry, shell = make_shell()
+        times = []
+
+        @registry.register("mark")
+        def mark(ctx):
+            times.append(engine.now)
+            return 1
+            yield  # pragma: no cover
+
+        shell.run("try 2 times\n  mark\nend\n")
+        first_gap = times[1] - times[0]
+        start = engine.now
+        times.clear()
+        shell.run("try 2 times\n  mark\nend\n")
+        second_gap = times[1] - times[0]
+        # fresh BackoffState each construct: both gaps are the 1 s base
+        assert first_gap == pytest.approx(second_gap)
+
+
+class TestForConstructEdges:
+    def test_forany_value_from_variable(self):
+        engine, registry, shell = make_shell()
+        result = shell.run(
+            "primary=alpha\nforany h in ${primary} beta\n  success\nend\n"
+            "echo ${h} -> out"
+        )
+        assert result.variables["out"] == "alpha"
+
+    def test_forany_undefined_value_fails(self):
+        engine, registry, shell = make_shell()
+        result = shell.run("forany h in ${ghost}\n  success\nend")
+        assert not result.success
+
+    def test_forall_single_branch(self):
+        engine, registry, shell = make_shell()
+        assert shell.run("forall x in only\n  sleep 1\nend").success
+        assert engine.now == 1.0
+
+    def test_forall_nested_in_forany(self):
+        engine, registry, shell = make_shell()
+        result = shell.run(
+            """
+forany group in a b
+    forall item in 1 2
+        sleep ${item}
+    end
+end
+"""
+        )
+        assert result.success
+        assert result.variables["group"] == "a"
+
+    def test_forany_nested_in_forall(self):
+        engine, registry, shell = make_shell()
+
+        @registry.register("pick")
+        def pick(ctx):
+            yield ctx.engine.timeout(0.1)
+            return 0 if ctx.args[0] == ctx.args[1] else 1
+
+        result = shell.run(
+            """
+forall want in x y
+    forany have in x y
+        pick ${want} ${have}
+    end
+end
+"""
+        )
+        assert result.success
+
+    def test_forall_branch_capture_isolated(self):
+        engine, registry, shell = make_shell()
+        result = shell.run(
+            "out=parent\nforall x in a b\n  echo ${x} -> out\nend\n"
+            "echo ${out} -> final"
+        )
+        assert result.success
+        assert result.variables["final"] == "parent"
+
+
+class TestCommandEdges:
+    def test_last_redirect_wins_per_channel(self):
+        engine, registry, shell = make_shell()
+        result = shell.run("echo data -> first -> second")
+        assert result.success
+        assert "second" in result.variables
+        assert "first" not in result.variables
+
+    def test_command_of_only_elided_words_fails(self):
+        engine, registry, shell = make_shell()
+        result = shell.run("empty=\n${empty} ${empty}")
+        assert not result.success
+
+    def test_stdin_var_with_capture(self):
+        engine, registry, shell = make_shell()
+        result = shell.run("x=roundtrip\ncat -< x -> y\ncat -< y -> z")
+        assert result.variables["z"] == "roundtrip"
+
+    def test_undefined_stdin_var_fails(self):
+        engine, registry, shell = make_shell()
+        assert not shell.run("cat -< never_set").success
+
+    def test_append_capture_builds_up(self):
+        engine, registry, shell = make_shell()
+        result = shell.run(
+            "echo a ->> log\necho b ->> log\necho c ->> log\n"
+        )
+        assert result.variables["log"] == "abc"
+
+
+class TestOverloadBookkeeping:
+    def test_random_effect_only_on_retry(self):
+        """GetRandom draws happen once per backoff, not per attempt."""
+        engine, registry, shell = make_shell(
+            policy=BackoffPolicy(jitter_low=1.0, jitter_high=2.0)
+        )
+        draws = []
+        original = shell.driver.rng.random
+
+        def counting():
+            draws.append(1)
+            return 0.0
+
+        shell.driver.rng.random = counting
+        shell.run("try 4 times\n  false\nend")
+        assert len(draws) == 3  # 4 attempts -> 3 backoffs
+
+
+class TestCombinedRedirectOps:
+    def test_var_append_with_stderr_merge(self):
+        """`->>&` appends stdout+stderr to a variable."""
+        engine, registry, shell = make_shell()
+
+        @registry.register("noisy")
+        def noisy(ctx):
+            return 0, f"line-{ctx.args[0]}\n"
+            yield  # pragma: no cover
+
+        result = shell.run("noisy 1 ->>& log\nnoisy 2 ->>& log")
+        assert result.success
+        assert result.variables["log"] == "line-1line-2"
+
+    def test_file_append_with_stderr_merge_real(self, tmp_path):
+        """`>>&` appends stdout+stderr to a file (real driver)."""
+        from repro.core import Ftsh
+        from repro.core.realruntime import RealDriver
+
+        target = tmp_path / "log"
+        shell_real = Ftsh(driver=RealDriver(term_grace=0.2))
+        result = shell_real.run(
+            f"sh -c 'echo out; echo err 1>&2' >>& {target}\n"
+            f"sh -c 'echo more 1>&2' >>& {target}"
+        )
+        assert result.success
+        text = target.read_text()
+        assert "out" in text and "err" in text and "more" in text

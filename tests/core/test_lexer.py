@@ -1,0 +1,212 @@
+"""Tokenizer behaviour."""
+
+import pytest
+
+from repro.core.errors import FtshSyntaxError
+from repro.core.lexer import tokenize
+from repro.core.tokens import Literal, TokenKind, VarRef
+
+
+def words_of(text):
+    """All WORD tokens rendered back to strings."""
+    return [str(t.word) for t in tokenize(text) if t.kind is TokenKind.WORD]
+
+
+def kinds_of(text):
+    return [t.kind for t in tokenize(text)]
+
+
+class TestBasicWords:
+    def test_simple_command(self):
+        assert words_of("wget http://server/file.tar.gz") == [
+            "wget",
+            "http://server/file.tar.gz",
+        ]
+
+    def test_ends_with_eof(self):
+        tokens = tokenize("a b")
+        assert tokens[-1].kind is TokenKind.EOF
+
+    def test_empty_input(self):
+        assert kinds_of("") == [TokenKind.EOF]
+
+    def test_whitespace_only(self):
+        assert kinds_of("   \t  ") == [TokenKind.EOF]
+
+    def test_newline_token(self):
+        assert kinds_of("a\nb") == [
+            TokenKind.WORD,
+            TokenKind.NEWLINE,
+            TokenKind.WORD,
+            TokenKind.EOF,
+        ]
+
+    def test_semicolon_is_newline(self):
+        assert kinds_of("a; b") == [
+            TokenKind.WORD,
+            TokenKind.NEWLINE,
+            TokenKind.WORD,
+            TokenKind.EOF,
+        ]
+
+    def test_dash_words_stay_words(self):
+        assert words_of("rm -f file a-b -") == ["rm", "-f", "file", "a-b", "-"]
+
+    def test_hash_inside_word(self):
+        assert words_of("file#1") == ["file#1"]
+
+
+class TestComments:
+    def test_full_line_comment(self):
+        assert words_of("# nothing here\nreal") == ["real"]
+
+    def test_trailing_comment(self):
+        assert words_of("cmd arg # explanation") == ["cmd", "arg"]
+
+    def test_comment_does_not_eat_newline(self):
+        assert kinds_of("a # c\nb")[:3] == [
+            TokenKind.WORD,
+            TokenKind.NEWLINE,
+            TokenKind.WORD,
+        ]
+
+
+class TestQuoting:
+    def test_double_quotes_preserve_spaces(self):
+        tokens = tokenize('echo "hello world"')
+        assert str(tokens[1].word) == "hello world"
+
+    def test_single_quotes_literal_dollar(self):
+        tokens = tokenize("echo '$notavar'")
+        word = tokens[1].word
+        assert word.parts == (Literal("$notavar", quoted=True),)
+
+    def test_double_quotes_expand_vars(self):
+        tokens = tokenize('echo "got ${server} file"')
+        parts = tokens[1].word.parts
+        assert parts[0] == Literal("got ", quoted=True)
+        assert parts[1] == VarRef("server", quoted=True)
+        assert parts[2] == Literal(" file", quoted=True)
+
+    def test_adjacent_spans_concatenate(self):
+        tokens = tokenize('a"b c"d')
+        assert str(tokens[0].word) == "ab cd"
+        assert len([t for t in tokens if t.kind is TokenKind.WORD]) == 1
+
+    def test_empty_quotes_make_a_part(self):
+        tokens = tokenize('cmd ""')
+        word = tokens[1].word
+        assert word.parts == (Literal("", quoted=True),)
+
+    def test_unterminated_double(self):
+        with pytest.raises(FtshSyntaxError):
+            tokenize('echo "oops')
+
+    def test_unterminated_single(self):
+        with pytest.raises(FtshSyntaxError):
+            tokenize("echo 'oops")
+
+    def test_escaped_quote_inside_double(self):
+        tokens = tokenize('echo "a\\"b"')
+        assert str(tokens[1].word) == 'a"b'
+
+
+class TestVariables:
+    def test_braced(self):
+        tokens = tokenize("echo ${host}")
+        assert tokens[1].word.parts == (VarRef("host"),)
+
+    def test_bare(self):
+        tokens = tokenize("echo $host/file")
+        parts = tokens[1].word.parts
+        assert parts[0] == VarRef("host")
+        assert parts[1] == Literal("/file")
+
+    def test_dollar_not_followed_by_name_is_literal(self):
+        tokens = tokenize("echo $% $")
+        assert str(tokens[1].word) == "$%"
+        assert str(tokens[2].word) == "$"
+
+    def test_dollar_digit_is_positional(self):
+        tokens = tokenize("echo $1 ${12} ${#}")
+        assert tokens[1].word.parts == (VarRef("1"),)
+        assert tokens[2].word.parts == (VarRef("12"),)
+        assert tokens[3].word.parts == (VarRef("#"),)
+
+    def test_unterminated_brace(self):
+        with pytest.raises(FtshSyntaxError):
+            tokenize("echo ${host")
+
+    def test_invalid_name_in_braces(self):
+        with pytest.raises(FtshSyntaxError):
+            tokenize("echo ${9lives}")
+
+    def test_escaped_dollar(self):
+        tokens = tokenize(r"echo \$host")
+        assert tokens[1].word.parts == (Literal("$host"),)
+
+
+class TestRedirects:
+    @pytest.mark.parametrize("op", [">", ">>", ">&", ">>&", "<", "->", "->>", "->&", "-<"])
+    def test_each_operator(self, op):
+        tokens = tokenize(f"cmd {op} target")
+        assert tokens[1].kind is TokenKind.REDIRECT
+        assert tokens[1].op == op
+
+    def test_paper_variable_redirect(self):
+        # "run-simulation ->& tmp" (paper §4)
+        tokens = tokenize("run-simulation ->& tmp")
+        assert [t.kind for t in tokens[:3]] == [
+            TokenKind.WORD,
+            TokenKind.REDIRECT,
+            TokenKind.WORD,
+        ]
+        assert str(tokens[0].word) == "run-simulation"
+        assert tokens[1].op == "->&"
+
+    def test_paper_stdin_from_variable(self):
+        # "cat -< tmp"
+        tokens = tokenize("cat -< tmp")
+        assert tokens[1].op == "-<"
+
+    def test_redirect_tight_against_word(self):
+        tokens = tokenize("cmd>file")
+        assert [t.kind for t in tokens[:3]] == [
+            TokenKind.WORD,
+            TokenKind.REDIRECT,
+            TokenKind.WORD,
+        ]
+
+    def test_escaped_gt_is_literal(self):
+        tokens = tokenize(r"cmd \> arg")
+        assert str(tokens[1].word) == ">"
+        assert tokens[1].kind is TokenKind.WORD
+
+
+class TestContinuations:
+    def test_backslash_newline_joins_lines(self):
+        assert words_of("cmd \\\n arg") == ["cmd", "arg"]
+
+    def test_continuation_inside_word(self):
+        assert words_of("ab\\\ncd") == ["abcd"]
+
+    def test_dangling_backslash(self):
+        with pytest.raises(FtshSyntaxError):
+            tokenize("cmd \\")
+
+
+class TestPositions:
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        lines = [t.line for t in tokens if t.kind is TokenKind.WORD]
+        assert lines == [1, 2, 3]
+
+    def test_columns(self):
+        tokens = tokenize("alpha beta")
+        assert tokens[0].column == 1
+        assert tokens[1].column == 7
+
+    def test_error_carries_position(self):
+        with pytest.raises(FtshSyntaxError) as info:
+            tokenize('x\ny "unterminated')
+        assert info.value.line == 2

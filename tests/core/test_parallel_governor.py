@@ -1,0 +1,106 @@
+"""The forall process-creation governor (paper §4: 'the creation of
+processes must be governed by an Ethernet-like algorithm')."""
+
+import time
+
+import pytest
+
+from repro.core import Ftsh
+from repro.core.backoff import BackoffPolicy
+from repro.core.realruntime import RealDriver
+from repro.sim import Engine
+from repro.simruntime import CommandRegistry, SimFtsh
+
+FAST = BackoffPolicy(base=0.05, factor=2.0, ceiling=0.2,
+                     jitter_low=1.0, jitter_high=1.0)
+DETERMINISTIC = BackoffPolicy(jitter_low=1.0, jitter_high=1.0)
+
+
+class TestSimGovernor:
+    def make(self, max_parallel):
+        engine = Engine()
+        registry = CommandRegistry()
+        active = {"now": 0, "peak": 0}
+
+        @registry.register("job")
+        def job(ctx):
+            active["now"] += 1
+            active["peak"] = max(active["peak"], active["now"])
+            yield ctx.engine.timeout(float(ctx.args[0]) if ctx.args else 1.0)
+            active["now"] -= 1
+            return 0
+
+        shell = SimFtsh(engine, registry, policy=DETERMINISTIC,
+                        max_parallel=max_parallel)
+        return engine, shell, active
+
+    def test_concurrency_capped(self):
+        engine, shell, active = self.make(max_parallel=2)
+        result = shell.run("forall x in 1 2 3 4 5 6\n  job\nend")
+        assert result.success
+        assert active["peak"] == 2
+        assert engine.now == pytest.approx(3.0)  # 6 jobs / 2 at a time
+
+    def test_unlimited_default(self):
+        engine, shell, active = self.make(max_parallel=None)
+        shell.run("forall x in 1 2 3 4 5\n  job\nend")
+        assert active["peak"] == 5
+        assert engine.now == pytest.approx(1.0)
+
+    def test_cap_of_one_serializes(self):
+        engine, shell, active = self.make(max_parallel=1)
+        shell.run("forall x in a b c\n  job\nend")
+        assert active["peak"] == 1
+        assert engine.now == pytest.approx(3.0)
+
+    def test_unstarted_branches_skipped_on_failure(self):
+        engine = Engine()
+        registry = CommandRegistry()
+        started = []
+
+        @registry.register("mark")
+        def mark(ctx):
+            started.append(ctx.args[0])
+            yield ctx.engine.timeout(1.0)
+            return 1 if ctx.args[0] == "bad" else 0
+
+        shell = SimFtsh(engine, registry, policy=DETERMINISTIC, max_parallel=1)
+        result = shell.run("forall x in bad later1 later2\n  mark ${x}\nend")
+        assert not result.success
+        assert started == ["bad"]  # governor never launched the rest
+
+    def test_bad_cap_rejected(self):
+        from repro.core.errors import FtshRuntimeError
+
+        engine = Engine()
+        with pytest.raises(FtshRuntimeError):
+            SimFtsh(engine, CommandRegistry(), max_parallel=0)
+
+
+class TestRealGovernor:
+    def test_wall_clock_shows_cap(self):
+        shell = Ftsh(driver=RealDriver(term_grace=0.2, max_parallel=2),
+                     policy=FAST)
+        started = time.monotonic()
+        result = shell.run("forall x in 0.2 0.2 0.2 0.2\n  sleep ${x}\nend")
+        elapsed = time.monotonic() - started
+        assert result.success
+        assert elapsed >= 0.35  # two waves of two
+
+    def test_failure_skips_queued_branches(self, tmp_path):
+        marker = tmp_path / "ran"
+        shell = Ftsh(driver=RealDriver(term_grace=0.2, max_parallel=1),
+                     policy=FAST)
+        result = shell.run(
+            'forall x in bad late\n'
+            '  sh -c "if test ${x} = bad; then exit 1; '
+            f'else touch {marker}; fi"\n'
+            'end'
+        )
+        assert not result.success
+        time.sleep(0.2)
+        assert not marker.exists()
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ValueError):
+            RealDriver(max_parallel=0)

@@ -1,0 +1,90 @@
+"""Systematic syntax-error matrix: every malformed construct is rejected
+with an FtshSyntaxError (never a crash, never silent acceptance)."""
+
+import pytest
+
+from repro.core.errors import FtshSyntaxError
+from repro.core.parser import parse
+
+REJECTED = [
+    # try headers
+    "try\n  cmd\nend",
+    "try for\n  cmd\nend",
+    "try for 5\n  cmd\nend",
+    "try for five minutes\n  cmd\nend",
+    "try for 5 lightyears\n  cmd\nend",
+    "try 0 times\n  cmd\nend",
+    "try -3 times\n  cmd\nend",
+    "try 5 whiles\n  cmd\nend",
+    "try 5 times or\n  cmd\nend",
+    "try for 1 hour for 2 hours\n  cmd\nend",
+    "try 3 times 4 times\n  cmd\nend",
+    "try every 5 seconds every 6 seconds\n  cmd\nend",
+    # block structure
+    "try 5 times\n  cmd\n",
+    "try 5 times\n  cmd\ncatch\n  cmd\n",
+    "end",
+    "catch\nend",
+    "else\nend",
+    "forany x in a\n  cmd\nelse\n  cmd\nend",
+    "if 1\n  cmd\ncatch\n  cmd\nend",
+    # forany / forall
+    "forany in a b\n  cmd\nend",
+    "forany 1x in a b\n  cmd\nend",
+    "forany x a b\n  cmd\nend",
+    "forany x in\n  cmd\nend",
+    "forall x in\n  cmd\nend",
+    # if
+    "if\n  cmd\nend",
+    "if ${a} .lt.\n  cmd\nend",
+    "if ( ${a} .lt. 1\n  cmd\nend",
+    "if ${a} .lt. 1 extra words\n  cmd\nend",
+    "if .defined.\n  cmd\nend",
+    "if .defined. ${x}\n  cmd\nend",
+    # functions
+    "function\n  cmd\nend",
+    "function 9bad\n  cmd\nend",
+    "function f\n  cmd\n",
+    # redirects
+    "> file",
+    "cmd >",
+    "cmd -> ${var}",
+    "cmd -<",
+    # assignment
+    "x=1 trailing words",
+    # lexical
+    'cmd "unterminated',
+    "cmd 'unterminated",
+    "cmd ${unclosed",
+    "cmd ${9bad}",
+    "cmd \\",
+]
+
+
+@pytest.mark.parametrize("text", REJECTED, ids=range(len(REJECTED)))
+def test_rejected_with_syntax_error(text):
+    with pytest.raises(FtshSyntaxError):
+        parse(text)
+
+
+ACCEPTED = [
+    # things that look odd but are legal
+    "echo end-of-story",          # keyword-ish word not in statement position
+    "echo try harder",
+    'echo "try 5 times"',
+    "try 1 times\n  success\nend",
+    "try forever\n  success\nend",
+    "x=",
+    "dd if=/dev/zero of=/dev/null",
+    "cmd a=b",                     # '=' word not in first position
+    "echo file#1 #comment",
+    "if 1\n  success\nend",
+    "forany x in single\n  success\nend",
+    "function f\nend",             # empty function body
+    "echo $% $",                   # literal dollars
+]
+
+
+@pytest.mark.parametrize("text", ACCEPTED, ids=range(len(ACCEPTED)))
+def test_accepted(text):
+    parse(text)

@@ -1,0 +1,125 @@
+"""The canonical formatter and its fixed-point property."""
+
+import pytest
+
+from repro.core.parser import parse
+from repro.core.pretty import format_script
+
+
+def roundtrip(text):
+    once = format_script(parse(text))
+    twice = format_script(parse(once))
+    return once, twice
+
+
+class TestFormatting:
+    def test_indentation(self):
+        once, _ = roundtrip("try 5 times\nwget url\nend")
+        assert once == "try 5 times\n    wget url\nend\n"
+
+    def test_semicolons_become_lines(self):
+        once, _ = roundtrip("a; b; c")
+        assert once == "a\nb\nc\n"
+
+    def test_durations_render_largest_unit(self):
+        once, _ = roundtrip("try for 3600 seconds\n  cmd\nend")
+        assert "try for 1 hour\n" in once
+        once, _ = roundtrip("try for 90 seconds\n  cmd\nend")
+        assert "try for 90 seconds" in once  # 1.5 minutes doesn't divide
+
+    def test_combined_limits(self):
+        once, _ = roundtrip("try for 1 hour or 3 times\n  cmd\nend")
+        assert "try for 1 hour or 3 times" in once
+
+    def test_forever(self):
+        once, _ = roundtrip("try forever\n  cmd\nend")
+        assert "try forever" in once
+
+    def test_variables_brace_style(self):
+        once, _ = roundtrip("echo $host")
+        assert "${host}" in once
+
+    def test_quoted_spaces_survive(self):
+        once, _ = roundtrip('echo "two words"')
+        assert '"two words"' in once
+        reparsed = parse(once)
+        word = reparsed.body.body[0].words[1]
+        assert str(word) == "two words"
+
+    def test_redirects(self):
+        once, _ = roundtrip("cut -f2 /proc/sys/fs/file-nr -> n")
+        assert "-> n" in once
+
+    def test_catch_and_else(self):
+        once, _ = roundtrip(
+            "try 1 times\n  a\ncatch\n  b\nend\nif 1\n  c\nelse\n  d\nend"
+        )
+        assert "catch\n" in once and "else\n" in once
+
+    def test_function(self):
+        once, _ = roundtrip("function f\n  echo $1\nend")
+        assert once.startswith("function f\n")
+        assert "${1}" in once
+
+    def test_empty_script(self):
+        assert format_script(parse("")) == ""
+
+    def test_comments_are_dropped(self):
+        once, _ = roundtrip("# commentary\ncmd  # trailing\n")
+        assert "#" not in once
+
+
+class TestFixedPoint:
+    PAPER_SCRIPTS = [
+        "try for 1 hour\n  forany host in xxx yyy zzz\n"
+        "    try for 5 minutes\n      fetch-file $host filename\n"
+        "    end\n  end\nend",
+        "try 5 times\n  wget http://server/f.tar.gz\ncatch\n"
+        "  rm -f f.tar.gz\n  failure\nend",
+        "try for 5 minutes\n  cut -f2 /proc/sys/fs/file-nr -> n\n"
+        "  if ${n} .lt. 1000\n    failure\n  else\n"
+        "    condor_submit submit.job\n  end\nend",
+        "try 5 times\n  run-simulation ->& tmp\nend\ncat -< tmp",
+        'x="a b"\nforall f in 1 2 3\n  wget ${f} > out\nend',
+        "if ( ${a} .or. ${b} ) .and. .not. ${c}\n  success\nend",
+    ]
+
+    @pytest.mark.parametrize("text", PAPER_SCRIPTS, ids=range(len(PAPER_SCRIPTS)))
+    def test_fixed_point(self, text):
+        once, twice = roundtrip(text)
+        assert once == twice
+
+    @pytest.mark.parametrize("text", PAPER_SCRIPTS, ids=range(len(PAPER_SCRIPTS)))
+    def test_semantics_preserved_in_sim(self, text):
+        """Formatting must not change what a script does."""
+        from repro.core.backoff import BackoffPolicy
+        from repro.sim import Engine
+        from repro.simruntime import CommandRegistry, SimFtsh
+
+        policy = BackoffPolicy(jitter_low=1.0, jitter_high=1.0)
+
+        def outcome(script_text):
+            engine = Engine()
+            registry = CommandRegistry()
+
+            def anything(ctx):
+                yield ctx.engine.timeout(0.1)
+                return 1  # always fails -> exercises retry paths
+
+            for name in ("wget", "fetch-file", "rm", "run-simulation",
+                         "cut", "condor_submit"):
+                registry.add(name, anything)
+            shell = SimFtsh(engine, registry, policy=policy)
+            result = shell.run(script_text, timeout=400.0)
+            return result.success, round(engine.now, 3)
+
+        assert outcome(text) == outcome(format_script(parse(text)))
+
+
+class TestCliFormat:
+    def test_format_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["--format", "-c", "try 2 times\ncmd\nend"]) == 0
+        out = capsys.readouterr().out
+        assert out == "try 2 times\n    cmd\nend\n"

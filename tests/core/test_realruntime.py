@@ -1,0 +1,189 @@
+"""The POSIX driver: real subprocesses, sessions, timeouts, threads."""
+
+import os
+import sys
+import time
+
+import pytest
+
+from repro.core import Ftsh
+from repro.core.backoff import BackoffPolicy
+from repro.core.realruntime import DEADLINE_ENV, RealDriver
+
+FAST = BackoffPolicy(base=0.05, factor=2.0, ceiling=0.2,
+                     jitter_low=1.0, jitter_high=1.0)
+
+
+@pytest.fixture
+def shell():
+    return Ftsh(driver=RealDriver(term_grace=0.2), policy=FAST)
+
+
+class TestBasicExecution:
+    def test_true_succeeds(self, shell):
+        assert shell.run("sh -c 'exit 0'").success
+
+    def test_false_fails(self, shell):
+        result = shell.run("sh -c 'exit 3'")
+        assert not result.success
+        assert "exited 3" in result.reason
+
+    def test_missing_program_fails_not_crashes(self, shell):
+        result = shell.run("definitely_not_a_real_program_xyz")
+        assert not result.success
+
+    def test_capture_stdout(self, shell):
+        result = shell.run("echo hello -> v")
+        assert result.variables["v"] == "hello"
+
+    def test_capture_merged_stderr(self, shell):
+        result = shell.run("sh -c 'echo out; echo err 1>&2' ->& v")
+        assert "out" in result.variables["v"]
+        assert "err" in result.variables["v"]
+
+    def test_capture_without_stderr(self, shell):
+        # stderr not captured with plain -> (it flows to the test harness)
+        result = shell.run("sh -c 'echo out; echo err >/dev/null' -> v")
+        assert result.variables["v"].strip().splitlines() == ["out"]
+
+    def test_stdin_from_variable(self, shell):
+        result = shell.run("msg=hello-stdin\ncat -< msg -> back")
+        assert result.variables["back"] == "hello-stdin"
+
+
+class TestFileRedirects:
+    def test_stdout_to_file(self, shell, tmp_path):
+        target = tmp_path / "out.txt"
+        result = shell.run(f"echo data > {target}")
+        assert result.success
+        assert target.read_text() == "data\n"
+
+    def test_append(self, shell, tmp_path):
+        target = tmp_path / "out.txt"
+        shell.run(f"echo one > {target}\necho two >> {target}")
+        assert target.read_text() == "one\ntwo\n"
+
+    def test_stdin_from_file(self, shell, tmp_path):
+        source = tmp_path / "in.txt"
+        source.write_text("from-file")
+        result = shell.run(f"cat < {source} -> v")
+        assert result.variables["v"] == "from-file"
+
+    def test_merged_stderr_to_file(self, shell, tmp_path):
+        target = tmp_path / "log.txt"
+        shell.run(f"sh -c 'echo a; echo b 1>&2' >& {target}")
+        text = target.read_text()
+        assert "a" in text and "b" in text
+
+    def test_missing_stdin_file_fails(self, shell, tmp_path):
+        result = shell.run(f"cat < {tmp_path}/absent.txt")
+        assert not result.success
+
+
+class TestTimeouts:
+    def test_sleep_killed_promptly(self, shell):
+        started = time.monotonic()
+        result = shell.run("try for 0.5 seconds\n  sleep 30\nend")
+        elapsed = time.monotonic() - started
+        assert not result.success
+        assert elapsed < 5.0
+
+    def test_session_kill_reaches_grandchildren(self, shell):
+        # The child spawns its own child; killing the session must get both.
+        started = time.monotonic()
+        result = shell.run(
+            "try for 0.5 seconds\n  sh -c 'sleep 30 & wait'\nend"
+        )
+        elapsed = time.monotonic() - started
+        assert not result.success
+        assert elapsed < 5.0
+
+    def test_sigterm_respected_before_sigkill(self, shell, tmp_path):
+        marker = tmp_path / "marker"
+        script = (
+            "try for 0.5 seconds\n"
+            f"  sh -c 'trap \"touch {marker}; exit 1\" TERM; sleep 30'\n"
+            "end"
+        )
+        result = shell.run(script)
+        assert not result.success
+        deadline = time.monotonic() + 3.0
+        while not marker.exists() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert marker.exists()
+
+    def test_overall_run_timeout(self, shell):
+        result = shell.run("sleep 30", timeout=0.5)
+        assert not result.success
+        assert result.timed_out
+
+    def test_deadline_env_exported(self, shell):
+        result = shell.run(
+            "try for 30 seconds\n  sh -c 'echo $%s' -> v\nend" % DEADLINE_ENV
+        )
+        assert result.success
+        value = result.variables["v"]
+        assert value, "deadline env var should be set under a try limit"
+        assert float(value) > time.time() - 5
+
+    def test_no_deadline_env_without_limit(self, shell):
+        result = shell.run("sh -c 'echo x$%s' -> v" % DEADLINE_ENV)
+        assert result.variables["v"] == "x"
+
+
+class TestRetryAgainstRealState:
+    def test_retry_until_file_exists(self, shell, tmp_path):
+        flag = tmp_path / "flag"
+        result = shell.run(
+            f"try for 10 seconds\n"
+            f"  sh -c 'test -f {flag} || {{ touch {flag}; exit 1; }}'\n"
+            f"end"
+        )
+        assert result.success
+
+    def test_forany_real(self, shell):
+        result = shell.run(
+            'forany host in one two localhost\n'
+            '  sh -c "test ${host} = localhost"\n'
+            'end' 
+        )
+        assert result.success
+        assert result.variables["host"] == "localhost"
+
+
+class TestForallThreads:
+    def test_parallel_wall_clock(self, shell):
+        started = time.monotonic()
+        result = shell.run("forall x in 0.3 0.3 0.3\n  sleep ${x}\nend")
+        elapsed = time.monotonic() - started
+        assert result.success
+        assert elapsed < 0.9  # three serial sleeps would be 0.9+
+
+    def test_first_failure_cancels_slow_branch(self, shell):
+        started = time.monotonic()
+        result = shell.run(
+            'forall x in bad slow\n'
+            '  sh -c "if test ${x} = bad; then exit 1; else sleep 30; fi"\n'
+            'end' 
+        )
+        elapsed = time.monotonic() - started
+        assert not result.success
+        assert elapsed < 5.0
+
+    def test_nested_forall(self, shell):
+        result = shell.run(
+            "forall a in 1 2\n"
+            "  forall b in 1 2\n"
+            "    sh -c 'exit 0'\n"
+            "  end\n"
+            "end"
+        )
+        assert result.success
+
+
+class TestDriverClock:
+    def test_now_monotonic(self):
+        driver = RealDriver()
+        first = driver.now()
+        second = driver.now()
+        assert second >= first >= 0.0

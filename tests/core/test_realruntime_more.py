@@ -1,0 +1,84 @@
+"""More POSIX-driver coverage: environments, encodings, volume."""
+
+import os
+import time
+
+import pytest
+
+from repro.core import Ftsh
+from repro.core.backoff import BackoffPolicy
+from repro.core.realruntime import RealDriver
+
+FAST = BackoffPolicy(base=0.05, factor=2.0, ceiling=0.2,
+                     jitter_low=1.0, jitter_high=1.0)
+
+
+class TestEnvironment:
+    def test_child_sees_parent_environment_by_default(self, monkeypatch):
+        monkeypatch.setenv("FTSH_TEST_MARKER", "present")
+        shell = Ftsh(driver=RealDriver(term_grace=0.2), policy=FAST)
+        result = shell.run("sh -c 'echo $FTSH_TEST_MARKER' -> v")
+        assert result.variables["v"] == "present"
+
+    def test_custom_environment_replaces(self, monkeypatch):
+        monkeypatch.setenv("FTSH_TEST_MARKER", "leaky")
+        driver = RealDriver(term_grace=0.2,
+                            env={"PATH": os.environ["PATH"], "ONLY": "this"})
+        shell = Ftsh(driver=driver, policy=FAST)
+        result = shell.run("sh -c 'echo [$FTSH_TEST_MARKER][$ONLY]' -> v")
+        assert result.variables["v"] == "[][this]"
+
+    def test_ftsh_variables_do_not_become_env(self):
+        shell = Ftsh(driver=RealDriver(term_grace=0.2), policy=FAST)
+        result = shell.run("secret=internal\nsh -c 'echo x$secret' -> v")
+        assert result.variables["v"] == "x"
+
+
+class TestOutputHandling:
+    def test_unicode_output(self):
+        shell = Ftsh(driver=RealDriver(term_grace=0.2), policy=FAST)
+        result = shell.run("printf 'héllo→wörld' -> v")
+        assert result.variables["v"] == "héllo→wörld"
+
+    def test_large_output_captured(self):
+        shell = Ftsh(driver=RealDriver(term_grace=0.2), policy=FAST)
+        result = shell.run('sh -c "yes line | head -n 200000" -> v')
+        assert result.success
+        assert result.variables["v"].count("line") == 200000
+
+    def test_large_output_does_not_deadlock_with_timeout(self):
+        """A command producing lots of output under a deadline must not
+        deadlock on a full pipe."""
+        shell = Ftsh(driver=RealDriver(term_grace=0.2), policy=FAST)
+        started = time.monotonic()
+        result = shell.run(
+            'try for 20 seconds\n  sh -c "yes fill | head -n 500000" -> v\nend'
+        )
+        assert result.success
+        assert time.monotonic() - started < 20
+
+    def test_binary_garbage_replaced_not_crashing(self):
+        shell = Ftsh(driver=RealDriver(term_grace=0.2), policy=FAST)
+        result = shell.run(
+            "sh -c 'printf \"\\377\\376ok\"' -> v"
+        )
+        assert result.success
+        assert "ok" in result.variables["v"]
+
+
+class TestArgvFidelity:
+    def test_arguments_with_spaces_via_quotes(self, tmp_path):
+        target = tmp_path / "out"
+        shell = Ftsh(driver=RealDriver(term_grace=0.2), policy=FAST)
+        # single quotes keep $1 for /bin/sh (in ftsh double quotes it
+        # would be an ftsh positional parameter)
+        result = shell.run(f"sh -c 'echo \"$1\" > {target}' arg0 \"one two\"")
+        assert result.success
+        assert target.read_text().strip() == "one two"
+
+    def test_empty_quoted_argument_preserved(self):
+        shell = Ftsh(driver=RealDriver(term_grace=0.2), policy=FAST)
+        # sh: arg after the body becomes $0; the empty quoted word is $1,
+        # so it still counts — proof the empty argv entry survived.
+        result = shell.run('sh -c \'echo "count=$#[$1]"\' zero "" -> v')
+        assert result.variables["v"] == "count=1[]"

@@ -1,0 +1,79 @@
+"""Time-unit parsing."""
+
+import pytest
+
+from repro.core.errors import FtshSyntaxError
+from repro.core.units import (
+    DAY,
+    HOUR,
+    MINUTE,
+    duration_seconds,
+    format_duration,
+    is_time_unit,
+    unit_seconds,
+)
+
+
+class TestUnitRecognition:
+    @pytest.mark.parametrize(
+        "word",
+        ["s", "sec", "secs", "second", "seconds", "m", "min", "mins",
+         "minute", "minutes", "h", "hr", "hrs", "hour", "hours", "d",
+         "day", "days"],
+    )
+    def test_known_units(self, word):
+        assert is_time_unit(word)
+
+    @pytest.mark.parametrize("word", ["SECONDS", "Minutes", "HOUR"])
+    def test_case_insensitive(self, word):
+        assert is_time_unit(word)
+
+    @pytest.mark.parametrize("word", ["", "fortnight", "ms", "5s", "se c"])
+    def test_unknown_units(self, word):
+        assert not is_time_unit(word)
+
+
+class TestUnitSeconds:
+    def test_seconds(self):
+        assert unit_seconds("seconds") == 1.0
+
+    def test_minutes(self):
+        assert unit_seconds("minutes") == MINUTE == 60.0
+
+    def test_hours(self):
+        assert unit_seconds("hour") == HOUR == 3600.0
+
+    def test_days(self):
+        assert unit_seconds("days") == DAY == 86400.0
+
+    def test_unknown_raises(self):
+        with pytest.raises(FtshSyntaxError):
+            unit_seconds("parsecs")
+
+
+class TestDurations:
+    def test_simple(self):
+        assert duration_seconds(5, "minutes") == 300.0
+
+    def test_fractional(self):
+        assert duration_seconds(1.5, "hours") == 5400.0
+
+    def test_zero(self):
+        assert duration_seconds(0, "seconds") == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(FtshSyntaxError):
+            duration_seconds(-1, "seconds")
+
+    def test_paper_example_30_minutes(self):
+        # "try for 30 minutes"
+        assert duration_seconds(30, "minutes") == 1800.0
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [(5, "5s"), (90, "1.5m"), (3600, "1h"), (9000, "2.5h"), (86400, "1d")],
+    )
+    def test_format(self, seconds, expected):
+        assert format_duration(seconds) == expected

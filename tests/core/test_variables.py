@@ -1,0 +1,106 @@
+"""Scopes and word expansion."""
+
+import pytest
+
+from repro.core.errors import UndefinedVariableError
+from repro.core.lexer import tokenize
+from repro.core.tokens import TokenKind
+from repro.core.variables import Scope, expand_word, expand_words
+
+
+def first_word(text):
+    return next(t.word for t in tokenize(text) if t.kind is TokenKind.WORD)
+
+
+class TestScope:
+    def test_get_set(self):
+        scope = Scope()
+        scope.set("x", "1")
+        assert scope.get("x") == "1"
+
+    def test_missing_raises_failure(self):
+        with pytest.raises(UndefinedVariableError):
+            Scope().get("nope")
+
+    def test_lookup_default(self):
+        assert Scope().lookup("nope", "fallback") == "fallback"
+
+    def test_initial_bindings(self):
+        scope = Scope({"a": "1"})
+        assert scope.get("a") == "1"
+
+    def test_child_reads_parent(self):
+        parent = Scope({"a": "1"})
+        child = parent.child()
+        assert child.get("a") == "1"
+
+    def test_child_writes_stay_local(self):
+        parent = Scope({"a": "1"})
+        child = parent.child()
+        child.set("a", "2")
+        assert child.get("a") == "2"
+        assert parent.get("a") == "1"
+
+    def test_append(self):
+        scope = Scope()
+        scope.append("log", "one")
+        scope.append("log", "two")
+        assert scope.get("log") == "onetwo"
+
+    def test_contains(self):
+        scope = Scope({"a": "1"})
+        assert "a" in scope
+        assert "b" not in scope
+
+    def test_flatten_inner_wins(self):
+        parent = Scope({"a": "1", "b": "p"})
+        child = parent.child()
+        child.set("a", "2")
+        assert child.flatten() == {"a": "2", "b": "p"}
+
+
+class TestExpansion:
+    def test_literal(self):
+        assert expand_word(first_word("hello"), Scope()) == "hello"
+
+    def test_variable(self):
+        scope = Scope({"host": "xxx"})
+        assert expand_word(first_word("http://${host}/f"), scope) == "http://xxx/f"
+
+    def test_bare_variable(self):
+        scope = Scope({"host": "xxx"})
+        assert expand_word(first_word("$host"), scope) == "xxx"
+
+    def test_quoted_mixture(self):
+        scope = Scope({"server": "yyy"})
+        assert (
+            expand_word(first_word('"got file from ${server}"'), scope)
+            == "got file from yyy"
+        )
+
+    def test_undefined_raises(self):
+        with pytest.raises(UndefinedVariableError):
+            expand_word(first_word("${missing}"), Scope())
+
+
+class TestArgvExpansion:
+    def words(self, text):
+        return tuple(t.word for t in tokenize(text) if t.kind is TokenKind.WORD)
+
+    def test_basic(self):
+        argv = expand_words(self.words("wget url"), Scope())
+        assert argv == ["wget", "url"]
+
+    def test_empty_unquoted_variable_elides(self):
+        scope = Scope({"flag": ""})
+        argv = expand_words(self.words("cmd ${flag} arg"), scope)
+        assert argv == ["cmd", "arg"]
+
+    def test_empty_quoted_variable_kept(self):
+        scope = Scope({"flag": ""})
+        argv = expand_words(self.words('cmd "${flag}" arg'), scope)
+        assert argv == ["cmd", "", "arg"]
+
+    def test_empty_literal_quotes_kept(self):
+        argv = expand_words(self.words('cmd ""'), Scope())
+        assert argv == ["cmd", ""]

@@ -1,0 +1,78 @@
+"""Figure modules: quick-scale regeneration and rendering."""
+
+import pytest
+
+from repro.experiments.figure1 import render as render1, run_figure1
+from repro.experiments.figure2 import render as render_timeline, run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import (
+    render_figure4,
+    render_figure5,
+    run_buffer_sweep,
+)
+from repro.experiments.figure6 import render as render_reader, run_figure6
+from repro.experiments.figure7 import run_figure7
+
+QUICK_COUNTS = (5, 15)
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure1(counts=QUICK_COUNTS, duration=30.0)
+
+    def test_all_disciplines_present(self, result):
+        assert set(result.jobs) == {"fixed", "aloha", "ethernet"}
+
+    def test_row_lengths(self, result):
+        for rows in result.jobs.values():
+            assert len(rows) == len(QUICK_COUNTS)
+
+    def test_render_contains_counts(self, result):
+        text = render1(result)
+        assert "submitters" in text
+        assert "Figure 1" in text
+        assert "ethernet" in text
+
+
+class TestFigures2And3:
+    def test_figure2_series(self):
+        result = run_figure2(n_clients=20, duration=60.0)
+        assert result.discipline == "aloha"
+        assert len(result.fd_series) > 5
+        assert result.jobs_series is not None
+        text = render_timeline(result)
+        assert "free_fds" in text
+
+    def test_figure3_is_ethernet(self):
+        result = run_figure3(n_clients=20, duration=60.0)
+        assert result.discipline == "ethernet"
+
+
+class TestFigures4And5:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_buffer_sweep(counts=QUICK_COUNTS, duration=30.0)
+
+    def test_both_views_present(self, sweep):
+        assert set(sweep.consumed) == {"fixed", "aloha", "ethernet"}
+        assert set(sweep.collisions) == {"fixed", "aloha", "ethernet"}
+
+    def test_renders(self, sweep):
+        assert "Figure 4" in render_figure4(sweep)
+        assert "Figure 5" in render_figure5(sweep)
+
+
+class TestFigures6And7:
+    def test_figure6_aloha(self):
+        result = run_figure6(duration=300.0)
+        assert result.discipline == "aloha"
+        assert result.run.transfers > 0
+        text = render_reader(result)
+        assert "collisions" in text
+
+    def test_figure7_ethernet(self):
+        result = run_figure7(duration=300.0)
+        assert result.discipline == "ethernet"
+        text = render_reader(result)
+        assert "deferrals" in text

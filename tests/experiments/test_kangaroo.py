@@ -1,0 +1,56 @@
+"""The formal Kangaroo pipeline scenario."""
+
+import pytest
+
+from repro.clients.base import ALOHA, ETHERNET, FIXED
+from repro.experiments.scenario_kangaroo import KangarooParams, run_kangaroo
+from repro.grid.archive import WanConfig
+
+
+class TestPipeline:
+    def test_steady_wan_delivers_everything_produced(self):
+        result = run_kangaroo(
+            KangarooParams(
+                discipline=ETHERNET,
+                n_producers=3,
+                duration=120.0,
+                wan=WanConfig(bandwidth_mb_s=10.0,
+                              mean_time_between_outages=0.0),
+            )
+        )
+        assert result.wan_outages == 0
+        assert result.files_delivered > 0
+        # fast WAN: nearly nothing left behind at the horizon
+        assert result.backlog_mb < 5.0
+
+    def test_outages_create_backlog_but_delivery_continues(self):
+        result = run_kangaroo(
+            KangarooParams(
+                discipline=ETHERNET,
+                n_producers=10,
+                duration=300.0,
+                wan=WanConfig(bandwidth_mb_s=2.0,
+                              mean_time_between_outages=60.0,
+                              mean_outage_duration=20.0),
+            )
+        )
+        assert result.wan_outages >= 1
+        assert result.mb_delivered > 0
+        assert result.upload_failures > 0
+
+    def test_fixed_delivers_less_end_to_end(self):
+        results = {
+            d.name: run_kangaroo(
+                KangarooParams(discipline=d, n_producers=20, duration=180.0)
+            )
+            for d in (FIXED, ALOHA)
+        }
+        assert results["aloha"].mb_delivered > 2 * results["fixed"].mb_delivered
+        assert results["fixed"].collisions > 10 * results["aloha"].collisions
+
+    def test_deterministic(self):
+        params = dict(discipline=ALOHA, n_producers=5, duration=120.0, seed=4)
+        first = run_kangaroo(KangarooParams(**params))
+        second = run_kangaroo(KangarooParams(**params))
+        assert first.mb_delivered == second.mb_delivered
+        assert first.wan_outages == second.wan_outages

@@ -1,0 +1,86 @@
+"""Plain-text reporting: tables, charts, timeline resampling."""
+
+from repro.experiments.report import (
+    ascii_chart,
+    render_table,
+    render_timeline,
+    timeline_rows,
+)
+from repro.sim import TimeSeries
+
+
+class TestRenderTable:
+    def test_alignment_and_headers(self):
+        text = render_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[1.0], [1.25]])
+        assert "1" in text and "1.25" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestAsciiChart:
+    def test_contains_legend_and_bounds(self):
+        text = ascii_chart({"up": [0, 5, 10], "down": [10, 5, 0]}, [0, 1, 2],
+                           title="t")
+        assert "t" in text
+        assert "*=up" in text
+        assert "o=down" in text
+        assert "y_max = 10" in text
+
+    def test_no_data(self):
+        assert ascii_chart({}, []) == "(no data)"
+
+    def test_flat_zero_series(self):
+        text = ascii_chart({"z": [0, 0, 0]}, [0, 1, 2])
+        assert "y_max" in text
+
+
+class TestTimeline:
+    def test_resampling_grid(self):
+        series = TimeSeries("s")
+        series.record(0.0, 1.0)
+        series.record(7.0, 5.0)
+        times, values = timeline_rows({"s": series}, duration=10.0, step=5.0)
+        assert times == [0.0, 5.0, 10.0]
+        assert values["s"] == [1.0, 1.0, 5.0]
+
+    def test_render_timeline(self):
+        series = TimeSeries("jobs")
+        for t in range(10):
+            series.record(float(t), float(t * 2))
+        text = render_timeline({"jobs": series}, duration=9.0, step=1.0,
+                               title="demo")
+        assert "demo" in text
+        assert "t(s)" in text
+        assert "jobs" in text
+
+
+class TestCsvExport:
+    def test_series_csv(self):
+        from repro.experiments.report import series_csv
+
+        series = TimeSeries("jobs")
+        series.record(0.0, 0.0)
+        series.record(5.0, 10.0)
+        text = series_csv({"jobs": series}, duration=10.0, step=5.0)
+        lines = text.splitlines()
+        assert lines[0] == "t,jobs"
+        assert lines[1] == "0,0"
+        assert lines[-1] == "10,10"
+
+    def test_sweep_csv(self):
+        from repro.experiments.report import sweep_csv
+
+        text = sweep_csv("n", [10, 20], {"fixed": [1, 2], "aloha": [3, 4]})
+        lines = text.splitlines()
+        assert lines[0] == "n,fixed,aloha"
+        assert lines[1] == "10,1,3"
+        assert lines[2] == "20,2,4"

@@ -1,0 +1,42 @@
+"""The runall driver (quick scale): reports land on disk, summary prints."""
+
+import os
+
+import pytest
+
+from repro.experiments.runall import SCALES, main
+
+
+class TestScales:
+    def test_three_scales_defined(self):
+        assert set(SCALES) == {"quick", "medium", "full"}
+
+    def test_full_matches_paper_parameters(self):
+        full = SCALES["full"]
+        assert full.fig1_counts[-1] == 500
+        assert full.fig1_duration == 300.0      # "jobs submitted in five minutes"
+        assert full.timeline_clients == 400     # "400 clients"
+        assert full.timeline_duration == 1800.0  # "thirty minutes"
+        assert full.reader_duration == 900.0    # "try for 900 seconds"
+
+    def test_scales_ordered_by_size(self):
+        quick, medium, full = SCALES["quick"], SCALES["medium"], SCALES["full"]
+        assert len(quick.fig1_counts) <= len(medium.fig1_counts) <= len(full.fig1_counts)
+        assert quick.timeline_duration <= medium.timeline_duration <= full.timeline_duration
+
+
+@pytest.mark.slow
+class TestRunAllQuick:
+    def test_writes_every_report(self, tmp_path, capsys):
+        code = main(["--scale", "quick", "--out", str(tmp_path)])
+        assert code == 0
+        names = sorted(os.listdir(tmp_path))
+        assert names == [
+            "figure1.txt", "figure2.txt", "figure3.txt", "figure4.txt",
+            "figure5.txt", "figure6.txt", "figure7.txt", "summary.txt",
+        ]
+        summary = (tmp_path / "summary.txt").read_text()
+        assert "fig1" in summary and "fig7" in summary
+        for name in names[:-1]:
+            content = (tmp_path / name).read_text()
+            assert len(content.splitlines()) > 5

@@ -1,0 +1,113 @@
+"""Replication statistics."""
+
+import pytest
+
+from repro.experiments.stats import Summary, dominates, replicate
+
+
+class TestSummary:
+    def test_mean_and_stdev(self):
+        summary = Summary("x", (1.0, 2.0, 3.0))
+        assert summary.n == 3
+        assert summary.mean == 2.0
+        assert summary.stdev == pytest.approx(1.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+
+    def test_single_value(self):
+        summary = Summary("x", (5.0,))
+        assert summary.stdev == 0.0
+        assert summary.confidence_interval() == (5.0, 5.0)
+
+    def test_confidence_interval_symmetric(self):
+        summary = Summary("x", (0.0, 10.0))
+        low, high = summary.confidence_interval()
+        assert low < summary.mean < high
+        assert summary.mean - low == pytest.approx(high - summary.mean)
+
+    def test_str(self):
+        text = str(Summary("metric", (1.0, 2.0)))
+        assert "metric" in text and "mean=" in text and "ci95=" in text
+
+
+class TestReplicate:
+    def test_runs_per_seed(self):
+        seen = []
+
+        def run(seed):
+            seen.append(seed)
+            return seed * 10
+
+        summaries = replicate(run, [1, 2, 3], {"value": lambda r: r})
+        assert seen == [1, 2, 3]
+        assert summaries["value"].values == (10.0, 20.0, 30.0)
+
+    def test_multiple_metrics(self):
+        summaries = replicate(
+            lambda seed: {"a": seed, "b": -seed},
+            [1, 2],
+            {"a": lambda r: r["a"], "b": lambda r: r["b"]},
+        )
+        assert summaries["a"].mean == 1.5
+        assert summaries["b"].mean == -1.5
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(lambda seed: seed, [], {"x": lambda r: r})
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        better = Summary("b", (5.0, 6.0, 7.0))
+        worse = Summary("w", (1.0, 2.0, 3.0))
+        assert dominates(better, worse)
+        assert dominates(better, worse, min_gap=1.0)
+        assert not dominates(better, worse, min_gap=5.0)
+
+    def test_one_loss_breaks_dominance(self):
+        better = Summary("b", (5.0, 1.0))
+        worse = Summary("w", (1.0, 2.0))
+        assert not dominates(better, worse)
+
+    def test_ties_do_not_dominate(self):
+        a = Summary("a", (3.0,))
+        b = Summary("b", (3.0,))
+        assert not dominates(a, b)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            dominates(Summary("a", (1.0,)), Summary("b", (1.0, 2.0)))
+
+
+class TestVarianceStudySmoke:
+    def test_small_submission_replication(self):
+        from repro.clients.base import ALOHA
+        from repro.experiments import SubmitParams, run_submission
+
+        summaries = replicate(
+            lambda seed: run_submission(
+                SubmitParams(discipline=ALOHA, n_clients=10, duration=30.0,
+                             seed=seed)
+            ),
+            [1, 2],
+            {"jobs": lambda r: r.jobs_submitted},
+        )
+        assert summaries["jobs"].n == 2
+        assert summaries["jobs"].mean > 0
+
+
+class TestVarianceModule:
+    def test_studies_at_reduced_scale(self, monkeypatch, capsys):
+        from repro.experiments import variance
+
+        monkeypatch.setattr(variance, "SUBMIT_CLIENTS", 10)
+        monkeypatch.setattr(variance, "SUBMIT_DURATION", 30.0)
+        monkeypatch.setattr(variance, "BUFFER_PRODUCERS", 25)
+        monkeypatch.setattr(variance, "BUFFER_DURATION", 30.0)
+        monkeypatch.setattr(variance, "READER_DURATION", 300.0)
+        code = variance.main(["--replications", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario 1" in out and "scenario 3" in out
+        assert "mean=" in out
+        assert "in every replication:" in out

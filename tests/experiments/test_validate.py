@@ -1,0 +1,40 @@
+"""The reproduction gate module."""
+
+import pytest
+
+from repro.experiments.validate import Check, render, validate
+
+
+class TestValidate:
+    @pytest.fixture(scope="class")
+    def checks(self):
+        return validate(scale="quick")
+
+    def test_every_figure_covered(self, checks):
+        figures = {c.figure for c in checks}
+        assert figures == {"F1", "F2", "F3", "F4", "F5", "F6", "F7"}
+
+    def test_all_criteria_hold(self, checks):
+        failed = [c for c in checks if not c.passed]
+        assert not failed, f"shape criteria failed: {failed}"
+
+    def test_render_format(self, checks):
+        text = render(checks)
+        assert "PASS" in text
+        assert "shape criteria hold" in text
+        assert f"{len(checks)}/{len(checks)}" in text
+
+    def test_render_shows_failures(self):
+        checks = [Check("F9", "made-up claim", False, "detail")]
+        text = render(checks)
+        assert "FAIL" in text
+        assert "0/1" in text
+
+
+class TestCliEntry:
+    def test_main_exit_codes(self, capsys):
+        from repro.experiments.validate import main
+
+        assert main(["--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "shape criteria hold" in out

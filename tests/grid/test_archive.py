@@ -1,0 +1,151 @@
+"""The Kangaroo stage: WAN link outages and the archive uploader."""
+
+import random
+
+import pytest
+
+from repro.core.backoff import BackoffPolicy
+from repro.core.errors import SimulationError
+from repro.grid.archive import ArchiveUploader, WanConfig, WanLink
+from repro.grid.storage import BufferConfig, SharedBuffer
+from repro.sim import Engine, Interrupt
+
+DETERMINISTIC = BackoffPolicy(jitter_low=1.0, jitter_high=1.0)
+
+
+def steady_link(engine, bandwidth=2.0):
+    """A link that never fails."""
+    return WanLink(
+        engine,
+        WanConfig(bandwidth_mb_s=bandwidth, mean_time_between_outages=0.0),
+    )
+
+
+class TestWanLink:
+    def test_transfer_takes_bandwidth_time(self):
+        engine = Engine()
+        link = steady_link(engine, bandwidth=2.0)
+
+        def sender():
+            ok = yield from link.transfer(10.0)
+            return ok, engine.now
+
+        ok, finished = engine.run(until=engine.process(sender()))
+        assert ok is True
+        assert finished == pytest.approx(5.0)
+
+    def test_transfer_refused_when_down(self):
+        engine = Engine()
+        link = steady_link(engine)
+        link.up = False
+
+        def sender():
+            ok = yield from link.transfer(1.0)
+            return ok
+
+        assert engine.run(until=engine.process(sender())) is False
+
+    def test_outage_breaks_inflight_transfer(self):
+        engine = Engine()
+        link = steady_link(engine, bandwidth=1.0)
+
+        def saboteur():
+            yield engine.timeout(2.0)
+            link.up = False
+            for process in list(link._active):
+                process.interrupt("outage")
+
+        def sender():
+            try:
+                yield from link.transfer(10.0)
+                return "finished"
+            except Interrupt:
+                return "broken"
+
+        engine.process(saboteur())
+        outcome = engine.run(until=engine.process(sender()))
+        assert outcome == "broken"
+        assert link.broken_transfers.count == 1
+
+    def test_weather_process_cycles(self):
+        engine = Engine()
+        link = WanLink(
+            engine,
+            WanConfig(mean_time_between_outages=10.0, mean_outage_duration=5.0),
+            rng=random.Random(1),
+        )
+        engine.run(until=200.0)
+        assert link.outages.count >= 3
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(SimulationError):
+            WanLink(Engine(), WanConfig(bandwidth_mb_s=0.0))
+
+
+class TestArchiveUploader:
+    def make(self, engine, wan_config=None):
+        buffer = SharedBuffer(engine, BufferConfig(capacity_mb=50.0))
+        link = (
+            WanLink(engine, wan_config, rng=random.Random(2))
+            if wan_config
+            else steady_link(engine)
+        )
+        uploader = ArchiveUploader(buffer, link, policy=DETERMINISTIC,
+                                   rng=random.Random(3))
+        return buffer, link, uploader
+
+    def fill(self, buffer, sizes):
+        for size in sizes:
+            entry = buffer.create(goal_mb=size)
+            buffer.grow(entry, size)
+            buffer.finish(entry)
+
+    def test_delivers_and_frees(self):
+        engine = Engine()
+        buffer, link, uploader = self.make(engine)
+        self.fill(buffer, [2.0, 3.0])
+        uploader.start()
+        engine.run(until=30.0)
+        assert uploader.files_delivered.count == 2
+        assert uploader.mb_delivered == pytest.approx(5.0)
+        assert buffer.used_mb == 0.0
+
+    def test_outage_leaves_file_buffered(self):
+        engine = Engine()
+        buffer, link, uploader = self.make(engine)
+        link.up = False  # permanent outage (no weather process)
+        self.fill(buffer, [2.0])
+        uploader.start()
+        engine.run(until=30.0)
+        assert uploader.files_delivered.count == 0
+        assert uploader.upload_failures.count >= 1
+        assert buffer.used_mb == pytest.approx(2.0)  # Kangaroo keeps the data
+
+    def test_backlog_drains_after_outage(self):
+        engine = Engine()
+        buffer, link, uploader = self.make(engine)
+        link.up = False
+        self.fill(buffer, [2.0, 2.0, 2.0])
+
+        def weather():
+            yield engine.timeout(20.0)
+            link.up = True
+
+        engine.process(weather())
+        uploader.start()
+        engine.run(until=100.0)
+        assert uploader.files_delivered.count == 3
+        assert buffer.used_mb == 0.0
+
+    def test_uploads_survive_random_weather(self):
+        engine = Engine()
+        buffer, link, uploader = self.make(
+            engine,
+            WanConfig(bandwidth_mb_s=2.0, mean_time_between_outages=15.0,
+                      mean_outage_duration=5.0),
+        )
+        self.fill(buffer, [1.0] * 20)
+        uploader.start()
+        engine.run(until=600.0)
+        assert uploader.files_delivered.count == 20
+        assert buffer.used_mb == 0.0

@@ -1,0 +1,179 @@
+"""The schedd substrate: submission flow, FD contention, crash dynamics."""
+
+import pytest
+
+from repro.core.backoff import BackoffPolicy
+from repro.grid.condor import CondorConfig, CondorWorld, register_condor_commands
+from repro.sim import Engine
+from repro.simruntime import CommandRegistry, SimFtsh
+
+DETERMINISTIC = BackoffPolicy(jitter_low=1.0, jitter_high=1.0)
+
+
+def make_world(**overrides):
+    engine = Engine()
+    config = CondorConfig(**overrides)
+    world = CondorWorld(engine, config)
+    registry = CommandRegistry()
+    register_condor_commands(registry, world)
+    return engine, world, registry
+
+
+def make_shell(engine, registry, world, name="client"):
+    return SimFtsh(engine, registry, world=world, policy=DETERMINISTIC, name=name)
+
+
+class TestSubmission:
+    def test_single_submit_succeeds(self):
+        engine, world, registry = make_world()
+        shell = make_shell(engine, registry, world)
+        result = shell.run("condor_submit submit.job")
+        assert result.success
+        assert world.schedd.jobs_submitted.count == 1
+
+    def test_fds_released_after_submit(self):
+        engine, world, registry = make_world()
+        shell = make_shell(engine, registry, world)
+        shell.run("condor_submit submit.job")
+        assert world.fdtable.used == 0
+
+    def test_submit_takes_setup_plus_service(self):
+        engine, world, registry = make_world()
+        shell = make_shell(engine, registry, world)
+        shell.run("condor_submit submit.job")
+        config = world.config
+        # one connection open during service: load = 1/300
+        expected = config.connect_setup_time + config.base_service_time * (
+            1 + 1 / config.degradation_connections
+        )
+        assert engine.now == pytest.approx(expected)
+
+    def test_emfile_refuses_quickly(self):
+        engine, world, registry = make_world()
+        world.fdtable.allocate(world.config.fd_capacity)  # pin the table
+        shell = make_shell(engine, registry, world)
+        result = shell.run("condor_submit submit.job")
+        assert not result.success
+        assert world.schedd.emfile.count == 1
+        assert engine.now == pytest.approx(world.config.emfile_latency)
+
+    def test_refused_when_down(self):
+        engine, world, registry = make_world()
+        world.schedd.up = False
+        shell = make_shell(engine, registry, world)
+        result = shell.run("condor_submit submit.job")
+        assert not result.success
+        assert world.schedd.refused.count == 1
+
+
+class TestCrash:
+    def test_commit_starvation_crashes(self):
+        engine, world, registry = make_world()
+        config = world.config
+        # Leave room for the connection but not the commit.
+        filler = config.fd_capacity - config.fds_per_connection - config.commit_fds + 1
+        world.fdtable.allocate(filler)
+        shell = make_shell(engine, registry, world)
+        result = shell.run("condor_submit submit.job")
+        assert not result.success
+        assert world.schedd.crashes.count == 1
+        assert not world.schedd.up
+
+    def test_crash_interrupts_other_connections(self):
+        engine, world, registry = make_world(service_concurrency=1,
+                                             base_service_time=50.0)
+        shells = [make_shell(engine, registry, world, f"c{i}") for i in range(3)]
+        processes = [s.spawn("condor_submit submit.job") for s in shells]
+
+        def saboteur():
+            yield engine.timeout(2.0)
+            world.schedd.crash()
+
+        engine.process(saboteur())
+        engine.run(until=engine.all_of(processes))
+        results = [p.value for p in processes]
+        assert all(not r.success for r in results)
+        # everything was cleaned up
+        assert world.fdtable.used == 0
+        assert len(world.schedd.connections) == 0
+
+    def test_restart_after_delay(self):
+        engine, world, registry = make_world(restart_delay=30.0)
+        world.schedd.crash()
+        assert not world.schedd.up
+        engine.run(until=29.9)
+        assert not world.schedd.up
+        engine.run(until=31.0)
+        assert world.schedd.up
+
+    def test_maintenance_crash_on_pinned_table(self):
+        engine, world, registry = make_world(maintenance_interval=5.0)
+        world.fdtable.allocate(world.config.fd_capacity)
+        engine.run(until=6.0)
+        assert world.schedd.crashes.count >= 1
+
+    def test_maintenance_harmless_when_free(self):
+        engine, world, registry = make_world(maintenance_interval=5.0)
+        engine.run(until=60.0)
+        assert world.schedd.crashes.count == 0
+        assert world.fdtable.used == 0
+
+
+class TestCarrierProbe:
+    def test_paper_cut_command(self):
+        engine, world, registry = make_world()
+        shell = make_shell(engine, registry, world)
+        result = shell.run("cut -f2 /proc/sys/fs/file-nr -> n")
+        assert result.success
+        assert int(result.variables["n"]) == world.config.fd_capacity
+
+    def test_probe_sees_allocation(self):
+        engine, world, registry = make_world()
+        world.fdtable.allocate(100)
+        shell = make_shell(engine, registry, world)
+        result = shell.run("cut -f2 /proc/sys/fs/file-nr -> n")
+        assert int(result.variables["n"]) == world.config.fd_capacity - 100
+
+    def test_other_cut_usage_fails(self):
+        engine, world, registry = make_world()
+        shell = make_shell(engine, registry, world)
+        assert not shell.run("cut -d: -f1 /etc/passwd").success
+
+
+class TestEthernetScript:
+    def test_defers_below_threshold(self):
+        engine, world, registry = make_world()
+        world.fdtable.allocate(world.config.fd_capacity - 500)  # free = 500
+        shell = make_shell(engine, registry, world)
+        result = shell.run(
+            """
+try for 3 seconds
+    cut -f2 /proc/sys/fs/file-nr -> n
+    if ${n} .lt. 1000
+        failure
+    else
+        condor_submit submit.job
+    end
+end
+"""
+        )
+        assert not result.success
+        assert world.schedd.jobs_submitted.count == 0
+
+    def test_proceeds_above_threshold(self):
+        engine, world, registry = make_world()
+        shell = make_shell(engine, registry, world)
+        result = shell.run(
+            """
+try for 30 seconds
+    cut -f2 /proc/sys/fs/file-nr -> n
+    if ${n} .lt. 1000
+        failure
+    else
+        condor_submit submit.job
+    end
+end
+"""
+        )
+        assert result.success
+        assert world.schedd.jobs_submitted.count == 1

@@ -1,0 +1,129 @@
+"""Schedd mechanics beyond the happy path."""
+
+import pytest
+
+from repro.core.backoff import BackoffPolicy
+from repro.grid.condor import CondorConfig, CondorWorld, register_condor_commands
+from repro.sim import Engine
+from repro.simruntime import CommandRegistry, SimFtsh
+
+DETERMINISTIC = BackoffPolicy(jitter_low=1.0, jitter_high=1.0)
+
+
+def make_world(**overrides):
+    engine = Engine()
+    world = CondorWorld(engine, CondorConfig(**overrides))
+    registry = CommandRegistry()
+    register_condor_commands(registry, world)
+    return engine, world, registry
+
+
+class TestServiceDegradation:
+    def test_service_time_scales_with_connections(self):
+        engine, world, _ = make_world(base_service_time=2.0,
+                                      degradation_connections=100)
+        schedd = world.schedd
+        assert schedd.service_time() == pytest.approx(2.0)
+        # fake 100 open connections
+        for _ in range(100):
+            conn = schedd.open_connection(process=None)
+            assert conn is not None
+        assert schedd.service_time() == pytest.approx(4.0)
+
+    def test_more_clients_slower_each_but_more_total(self):
+        def throughput(n):
+            engine, world, registry = make_world()
+            shells = [
+                SimFtsh(engine, registry, world=world, policy=DETERMINISTIC,
+                        name=f"c{i}")
+                for i in range(n)
+            ]
+
+            def loop(shell):
+                while engine.now < 120.0:
+                    process = shell.spawn("condor_submit submit.job",
+                                          timeout=120.0 - engine.now)
+                    yield process
+
+            for shell in shells:
+                engine.process(loop(shell))
+            engine.run(until=120.0)
+            return world.schedd.jobs_submitted.count
+
+        # service-capacity-bound: more clients do not help once saturated
+        assert throughput(30) >= throughput(60) * 0.8
+
+
+class TestConnectionAccounting:
+    def test_fds_exact_through_lifecycle(self):
+        engine, world, registry = make_world(maintenance_interval=1e6)
+        shell = SimFtsh(engine, registry, world=world,
+                        policy=DETERMINISTIC, name="c")
+        config = world.config
+
+        observed = []
+
+        def probe():
+            while engine.now < 10.0:
+                observed.append(world.fdtable.used)
+                yield engine.timeout(0.25)
+
+        engine.process(probe())
+        shell.run("condor_submit submit.job")
+        engine.run(until=10.0)
+        # during the submission, connection + commit fds were pinned
+        assert max(observed) == config.fds_per_connection + config.commit_fds
+        assert world.fdtable.used == 0
+
+    def test_client_timeout_mid_queue_releases(self):
+        engine, world, registry = make_world(service_concurrency=1,
+                                             base_service_time=100.0,
+                                             maintenance_interval=1e6)
+        blocker = SimFtsh(engine, registry, world=world,
+                          policy=DETERMINISTIC, name="blocker")
+        victim = SimFtsh(engine, registry, world=world,
+                         policy=DETERMINISTIC, name="victim")
+        b = blocker.spawn("condor_submit submit.job")
+        v = victim.spawn("try for 5 seconds\n  condor_submit submit.job\nend")
+        engine.run(until=v)
+        # victim gave up while queued; only the blocker's fds remain
+        expected = world.config.fds_per_connection + world.config.commit_fds
+        assert world.fdtable.used == expected
+        assert len(world.schedd.connections) == 1
+
+    def test_refused_counter_during_downtime(self):
+        engine, world, registry = make_world(restart_delay=1000.0)
+        world.schedd.crash()
+        shell = SimFtsh(engine, registry, world=world,
+                        policy=DETERMINISTIC, name="c")
+        result = shell.run("try 3 times\n  condor_submit submit.job\nend")
+        assert not result.success
+        assert world.schedd.refused.count == 3
+
+
+class TestMaintenance:
+    def test_maintenance_pins_fds_briefly(self):
+        engine, world, _ = make_world(maintenance_interval=5.0,
+                                      maintenance_duration=1.0,
+                                      maintenance_fds=100)
+        samples = {}
+
+        def probe():
+            while engine.now < 12.0:
+                samples[round(engine.now, 2)] = world.fdtable.used
+                yield engine.timeout(0.5)
+
+        engine.process(probe())
+        engine.run(until=12.0)
+        assert samples[5.5] == 100   # mid-maintenance
+        assert samples[7.0] == 0     # released
+
+    def test_no_maintenance_while_down(self):
+        engine, world, _ = make_world(restart_delay=1000.0)
+        world.fdtable.allocate(world.config.fd_capacity)
+        engine.run(until=6.0)
+        first_crashes = world.schedd.crashes.count
+        assert first_crashes == 1
+        engine.run(until=30.0)
+        # still down: maintenance skips, no pile of further crashes
+        assert world.schedd.crashes.count == first_crashes

@@ -1,0 +1,70 @@
+"""FD table exhaustion semantics."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.grid.fdtable import FDTable
+from repro.sim import Engine, TimeSeries
+
+
+@pytest.fixture
+def table():
+    return FDTable(Engine(), capacity=100)
+
+
+class TestAllocation:
+    def test_allocate_and_release(self, table):
+        assert table.allocate(30)
+        assert table.used == 30
+        assert table.free == 70
+        table.release(30)
+        assert table.free == 100
+
+    def test_exhaustion_fails_immediately(self, table):
+        assert table.allocate(100)
+        assert not table.allocate(1)
+        assert table.failures == 1
+
+    def test_exact_fit(self, table):
+        assert table.allocate(100)
+        assert table.free == 0
+
+    def test_failure_does_not_consume(self, table):
+        table.allocate(90)
+        assert not table.allocate(20)
+        assert table.used == 90
+
+    def test_peak_tracking(self, table):
+        table.allocate(60)
+        table.release(50)
+        table.allocate(10)
+        assert table.peak_used == 60
+
+    def test_zero_allocation(self, table):
+        assert table.allocate(0)
+        assert table.used == 0
+
+
+class TestValidation:
+    def test_negative_alloc(self, table):
+        with pytest.raises(SimulationError):
+            table.allocate(-1)
+
+    def test_over_release(self, table):
+        table.allocate(5)
+        with pytest.raises(SimulationError):
+            table.release(6)
+
+    def test_bad_capacity(self):
+        with pytest.raises(SimulationError):
+            FDTable(Engine(), capacity=0)
+
+
+class TestSeries:
+    def test_series_records_free(self):
+        engine = Engine()
+        table = FDTable(engine, capacity=10)
+        table.series = TimeSeries("free")
+        table.allocate(4)
+        table.release(2)
+        assert table.series.values == [6, 8]

@@ -1,0 +1,154 @@
+"""Replicated servers, black holes, probes, and event accounting."""
+
+import pytest
+
+from repro.core.backoff import BackoffPolicy
+from repro.grid.httpserver import ReplicaConfig, ReplicaWorld, register_replica_commands
+from repro.sim import Engine
+from repro.simruntime import CommandRegistry, SimFtsh
+
+DETERMINISTIC = BackoffPolicy(jitter_low=1.0, jitter_high=1.0)
+
+
+def make_world(**kwargs):
+    engine = Engine()
+    world = ReplicaWorld(engine, **kwargs)
+    registry = CommandRegistry()
+    register_replica_commands(registry, world)
+    return engine, world, registry
+
+
+def make_shell(engine, registry, world, name="reader"):
+    return SimFtsh(engine, registry, world=world, policy=DETERMINISTIC, name=name)
+
+
+class TestUrlParsing:
+    def test_known_host(self):
+        _, world, _ = make_world()
+        server, path = world.parse_url("http://xxx/data")
+        assert server.name == "xxx"
+        assert path == "data"
+
+    def test_unknown_host(self):
+        _, world, _ = make_world()
+        assert world.parse_url("http://other/data") is None
+
+    def test_not_http(self):
+        _, world, _ = make_world()
+        assert world.parse_url("ftp://xxx/data") is None
+
+
+class TestTransfers:
+    def test_data_fetch_takes_ten_seconds(self):
+        engine, world, registry = make_world()
+        shell = make_shell(engine, registry, world)
+        result = shell.run("wget http://xxx/data")
+        assert result.success
+        # 100 MB at 10 MB/s plus connect latency
+        assert engine.now == pytest.approx(10.0 + world.config.connect_latency)
+        assert world.transfers.count == 1
+
+    def test_flag_fetch_fast_and_not_counted_as_transfer(self):
+        engine, world, registry = make_world()
+        shell = make_shell(engine, registry, world)
+        result = shell.run("wget http://xxx/flag")
+        assert result.success
+        assert engine.now < 1.0
+        assert world.transfers.count == 0
+
+    def test_unknown_host_fails(self):
+        engine, world, registry = make_world()
+        shell = make_shell(engine, registry, world)
+        assert not shell.run("wget http://nowhere/data").success
+
+    def test_single_threaded_server_serializes(self):
+        engine, world, registry = make_world()
+        shells = [make_shell(engine, registry, world, f"r{i}") for i in range(2)]
+        procs = [s.spawn("wget http://xxx/data") for s in shells]
+        engine.run()
+        assert engine.now == pytest.approx(20.0 + 2 * world.config.connect_latency,
+                                           abs=0.5)
+        assert all(p.value.success for p in procs)
+
+
+class TestBlackHole:
+    def test_black_hole_hangs_until_timeout(self):
+        engine, world, registry = make_world()
+        shell = make_shell(engine, registry, world)
+        result = shell.run("try for 60 seconds\n  wget http://zzz/data\nend")
+        assert not result.success
+        assert engine.now == pytest.approx(60.0)
+        assert world.collisions.count == 1
+
+    def test_probe_on_black_hole_is_deferral(self):
+        engine, world, registry = make_world()
+        shell = make_shell(engine, registry, world)
+        result = shell.run("try for 5 seconds\n  wget http://zzz/flag\nend")
+        assert not result.success
+        assert engine.now == pytest.approx(5.0)
+        assert world.deferrals.count == 1
+        assert world.collisions.count == 0
+
+    def test_black_hole_slot_released_after_timeout(self):
+        engine, world, registry = make_world()
+        shell = make_shell(engine, registry, world)
+        shell.run("try for 60 seconds\n  wget http://zzz/data\nend")
+        assert world.servers["zzz"].slot.count == 0
+
+    def test_paper_ethernet_reader_avoids_black_hole(self):
+        engine, world, registry = make_world()
+        shell = make_shell(engine, registry, world)
+        result = shell.run(
+            """
+try for 900 seconds
+    forany host in zzz xxx yyy
+        try for 5 seconds
+            wget http://${host}/flag
+        end
+        try for 60 seconds
+            wget http://${host}/data
+        end
+    end
+end
+"""
+        )
+        assert result.success
+        assert result.variables["host"] == "xxx"
+        # one deferral on the black hole probe, then a real transfer
+        assert world.deferrals.count == 1
+        assert world.transfers.count == 1
+        # well under the 60 s an aloha client would lose
+        assert engine.now < 20.0
+
+    def test_paper_aloha_reader_pays_sixty_seconds(self):
+        engine, world, registry = make_world()
+        shell = make_shell(engine, registry, world)
+        result = shell.run(
+            """
+try for 900 seconds
+    forany host in zzz xxx
+        try for 60 seconds
+            wget http://${host}/data
+        end
+    end
+end
+"""
+        )
+        assert result.success
+        assert world.collisions.count == 1
+        assert engine.now == pytest.approx(70.0 + 2 * world.config.connect_latency,
+                                           abs=0.5)
+
+
+class TestConfiguration:
+    def test_custom_hosts_and_holes(self):
+        engine, world, registry = make_world(
+            hosts=("a", "b"), black_holes=("b",)
+        )
+        assert not world.servers["a"].black_hole
+        assert world.servers["b"].black_hole
+
+    def test_all_good_servers(self):
+        engine, world, registry = make_world(black_holes=())
+        shell = make_shell(engine, registry, world)
+        assert shell.run("wget http://zzz/data").success

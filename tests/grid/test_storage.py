@@ -1,0 +1,204 @@
+"""Shared buffer: space accounting, estimator, consumer, disk sharing."""
+
+import pytest
+
+from repro.core.backoff import BackoffPolicy
+from repro.grid.storage import (
+    BufferConfig,
+    BufferWorld,
+    SharedBuffer,
+    consumer_process,
+    register_buffer_commands,
+)
+from repro.sim import Engine
+from repro.simruntime import CommandRegistry, SimFtsh
+
+DETERMINISTIC = BackoffPolicy(jitter_low=1.0, jitter_high=1.0)
+
+
+def make_world(**overrides):
+    engine = Engine()
+    config = BufferConfig(**overrides)
+    world = BufferWorld(engine, config)
+    registry = CommandRegistry()
+    register_buffer_commands(registry, world)
+    return engine, world, registry
+
+
+class TestSharedBuffer:
+    def test_grow_within_capacity(self):
+        buffer = SharedBuffer(Engine(), BufferConfig(capacity_mb=10))
+        entry = buffer.create(goal_mb=4)
+        assert buffer.grow(entry, 4)
+        assert buffer.used_mb == 4
+        assert buffer.free_mb == 6
+
+    def test_enospc(self):
+        buffer = SharedBuffer(Engine(), BufferConfig(capacity_mb=10))
+        entry = buffer.create(goal_mb=20)
+        assert buffer.grow(entry, 10)
+        assert not buffer.grow(entry, 0.1)
+
+    def test_delete_frees_and_counts_collision(self):
+        buffer = SharedBuffer(Engine(), BufferConfig(capacity_mb=10))
+        entry = buffer.create(goal_mb=5)
+        buffer.grow(entry, 5)
+        buffer.delete(entry, collided=True)
+        assert buffer.free_mb == 10
+        assert buffer.collisions.count == 1
+        assert buffer.mb_wasted == 5
+
+    def test_delete_idempotent(self):
+        buffer = SharedBuffer(Engine(), BufferConfig(capacity_mb=10))
+        entry = buffer.create(goal_mb=1)
+        buffer.delete(entry)
+        buffer.delete(entry)
+        assert buffer.collisions.count == 0
+
+    def test_finish_makes_consumable(self):
+        buffer = SharedBuffer(Engine(), BufferConfig(capacity_mb=10))
+        entry = buffer.create(goal_mb=2)
+        buffer.grow(entry, 2)
+        assert buffer.oldest_done() is None
+        buffer.finish(entry)
+        assert buffer.oldest_done() is entry
+
+    def test_oldest_done_fifo(self):
+        buffer = SharedBuffer(Engine(), BufferConfig(capacity_mb=10))
+        first = buffer.create(goal_mb=1)
+        second = buffer.create(goal_mb=1)
+        buffer.grow(first, 1)
+        buffer.grow(second, 1)
+        buffer.finish(second)
+        buffer.finish(first)
+        assert buffer.oldest_done() is second
+
+    def test_grow_deleted_file_rejected(self):
+        from repro.core.errors import SimulationError
+
+        buffer = SharedBuffer(Engine(), BufferConfig(capacity_mb=10))
+        entry = buffer.create(goal_mb=1)
+        buffer.delete(entry)
+        with pytest.raises(SimulationError):
+            buffer.grow(entry, 0.5)
+
+
+class TestEstimator:
+    def test_paper_rule(self):
+        """estimate = df_free - incomplete_count * avg(complete sizes)."""
+        buffer = SharedBuffer(Engine(), BufferConfig(capacity_mb=100))
+        done1 = buffer.create(goal_mb=2)
+        buffer.grow(done1, 2)
+        buffer.finish(done1)
+        done2 = buffer.create(goal_mb=4)
+        buffer.grow(done2, 4)
+        buffer.finish(done2)
+        partial = buffer.create(goal_mb=10)
+        buffer.grow(partial, 1)
+        # used = 7, free = 93, avg complete = 3, incomplete = 1
+        assert buffer.estimate_free_mb() == pytest.approx(93 - 3)
+
+    def test_fallback_average(self):
+        buffer = SharedBuffer(Engine(), BufferConfig(capacity_mb=100))
+        partial = buffer.create(goal_mb=1)
+        # no complete files: fall back to expected size 0.5
+        assert buffer.estimate_free_mb() == pytest.approx(100 - 0.5)
+
+    def test_estimate_can_go_negative(self):
+        buffer = SharedBuffer(Engine(), BufferConfig(capacity_mb=2))
+        big = buffer.create(goal_mb=2)
+        buffer.grow(big, 2)
+        buffer.finish(big)
+        for _ in range(3):
+            buffer.create(goal_mb=1)
+        assert buffer.estimate_free_mb() < 0
+
+
+class TestConsumer:
+    def test_drains_at_one_mb_per_second(self):
+        engine = Engine()
+        buffer = SharedBuffer(engine, BufferConfig(capacity_mb=10))
+        entry = buffer.create(goal_mb=4)
+        buffer.grow(entry, 4)
+        buffer.finish(entry)
+        engine.process(consumer_process(buffer))
+        engine.run(until=3.9)
+        assert buffer.files_consumed.count == 0
+        engine.run(until=4.5)
+        assert buffer.files_consumed.count == 1
+        assert buffer.free_mb == 10
+
+    def test_idle_consumer_polls(self):
+        engine = Engine()
+        buffer = SharedBuffer(engine, BufferConfig(capacity_mb=10))
+        engine.process(consumer_process(buffer))
+        engine.run(until=10.0)  # must not crash or spin
+        assert buffer.files_consumed.count == 0
+
+
+class TestCommands:
+    def test_produce_then_store(self):
+        engine, world, registry = make_world()
+        shell = SimFtsh(engine, registry, world=world, policy=DETERMINISTIC,
+                        name="p0")
+        result = shell.run("produce_output 0.5\nstore_output")
+        assert result.success
+        assert world.buffer.incomplete_count() == 0
+        assert len(world.buffer.complete_sizes()) == 1
+
+    def test_store_without_produce_fails(self):
+        engine, world, registry = make_world()
+        shell = SimFtsh(engine, registry, world=world, name="p0")
+        assert not shell.run("store_output").success
+
+    def test_store_collides_when_full(self):
+        engine, world, registry = make_world(capacity_mb=1.0)
+        filler = world.buffer.create(goal_mb=1.0)
+        world.buffer.grow(filler, 1.0)
+        shell = SimFtsh(engine, registry, world=world, policy=DETERMINISTIC,
+                        name="p0")
+        result = shell.run("produce_output 0.5\ntry 1 times\n  store_output\nend")
+        assert not result.success
+        assert world.buffer.collisions.count == 1
+
+    def test_df_commands(self):
+        engine, world, registry = make_world(capacity_mb=50.0)
+        shell = SimFtsh(engine, registry, world=world, name="p0")
+        result = shell.run("df_free -> free\ndf_estimate -> est")
+        assert float(result.variables["free"]) == pytest.approx(50.0)
+        assert float(result.variables["est"]) == pytest.approx(50.0)
+
+    def test_interrupted_store_counts_collision(self):
+        engine, world, registry = make_world(disk_rate_mb_s=0.1)
+        shell = SimFtsh(engine, registry, world=world, policy=DETERMINISTIC,
+                        name="p0")
+        # writing 1 MB at 0.1 MB/s takes 10 s; the window kills it at 2 s
+        result = shell.run(
+            "produce_output 1.0\ntry for 2 seconds\n  store_output\nend"
+        )
+        assert not result.success
+        assert world.buffer.collisions.count >= 1
+        assert world.buffer.incomplete_count() == 0  # partial cleaned up
+
+    def test_negative_size_rejected(self):
+        engine, world, registry = make_world()
+        shell = SimFtsh(engine, registry, world=world, name="p0")
+        assert not shell.run("produce_output -1").success
+
+
+class TestDiskSharing:
+    def test_two_streams_halve_throughput(self):
+        engine, world, registry = make_world(disk_rate_mb_s=1.0,
+                                             capacity_mb=100.0)
+        shells = [
+            SimFtsh(engine, registry, world=world, policy=DETERMINISTIC,
+                    name=f"p{i}")
+            for i in range(2)
+        ]
+        procs = [
+            s.spawn("produce_output 2.0\nstore_output") for s in shells
+        ]
+        engine.run()
+        # 4 MB total at 1 MB/s disk + 1s production: both finish ~5s.
+        assert engine.now == pytest.approx(5.0, abs=0.5)
+        assert all(p.value.success for p in procs)

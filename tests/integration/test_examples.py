@@ -1,0 +1,63 @@
+"""Every example script runs clean end to end (slow: real scenario runs)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+FAST_EXAMPLES = [
+    "nfs_timeouts.py",
+    "spec_probe.py",
+    "black_hole.py",
+    "dag_workflow.py",
+]
+
+SLOW_EXAMPLES = [
+    "quickstart.py",
+    "disk_buffer.py",
+    "job_submission.py",
+    "kangaroo_pipeline.py",
+    "custom_discipline.py",
+]
+
+
+def run_example(name, timeout):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example(name):
+    completed = run_example(name, timeout=120)
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_example(name):
+    completed = run_example(name, timeout=420)
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip()
+
+
+class TestExampleContent:
+    """Key claims the example narratives print must match their numbers."""
+
+    def test_black_hole_shows_ethernet_advantage(self):
+        completed = run_example("black_hole.py", timeout=120)
+        lines = completed.stdout.splitlines()
+        aloha = next(l for l in lines if l.startswith("aloha"))
+        ethernet = next(l for l in lines if l.startswith("ethernet"))
+        assert int(ethernet.split()[1]) > int(aloha.split()[1])
+
+    def test_dag_workflow_finishes_both(self):
+        completed = run_example("dag_workflow.py", timeout=200)
+        assert completed.stdout.count("True") >= 2

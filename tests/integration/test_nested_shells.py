@@ -1,0 +1,80 @@
+"""Nested real ftsh processes: the parent's deadline reaches the child.
+
+The paper §4: "Exactly this problem occurs when one ftsh script executes
+another as an external command...  The timeout which leads to a forcible
+kill must be shorter in the child script; this is passed through an
+environment variable."
+"""
+
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core import Ftsh
+from repro.core.backoff import BackoffPolicy
+from repro.core.realruntime import RealDriver
+
+FAST = BackoffPolicy(base=0.05, factor=2.0, ceiling=0.2,
+                     jitter_low=1.0, jitter_high=1.0)
+
+FTSH = [sys.executable, "-m", "repro.cli"]
+
+
+def ftsh_cmd(args):
+    return " ".join(FTSH + args)
+
+
+class TestNestedShells:
+    def test_child_shell_runs(self, tmp_path):
+        child = tmp_path / "child.ftsh"
+        child.write_text("sh -c 'exit 0'\n")
+        shell = Ftsh(driver=RealDriver(term_grace=0.2), policy=FAST)
+        result = shell.run(f"{ftsh_cmd([str(child)])}")
+        assert result.success
+
+    def test_child_failure_propagates(self, tmp_path):
+        child = tmp_path / "child.ftsh"
+        child.write_text("failure\n")
+        shell = Ftsh(driver=RealDriver(term_grace=0.2), policy=FAST)
+        result = shell.run(ftsh_cmd([str(child)]))
+        assert not result.success
+
+    def test_parent_deadline_stops_child_gracefully(self, tmp_path):
+        """The child sees the parent's deadline through the environment
+        and gives up on its own, before the parent must SIGKILL."""
+        child = tmp_path / "child.ftsh"
+        child.write_text("sleep 60\n")
+        shell = Ftsh(driver=RealDriver(term_grace=3.0), policy=FAST)
+        started = time.monotonic()
+        result = shell.run(
+            f"try for 2 seconds\n  {ftsh_cmd([str(child)])}\nend"
+        )
+        elapsed = time.monotonic() - started
+        assert not result.success
+        # Bound: child self-terminates around the 2s deadline (minus the
+        # safety margin), well before parent grace would stack up.
+        assert elapsed < 15.0
+
+    def test_grandchild_killed_with_session(self, tmp_path):
+        child = tmp_path / "child.ftsh"
+        child.write_text("sh -c 'sleep 60 & wait'\n")
+        shell = Ftsh(driver=RealDriver(term_grace=0.5), policy=FAST)
+        started = time.monotonic()
+        result = shell.run(
+            f"try for 1 seconds\n  {ftsh_cmd([str(child)])}\nend"
+        )
+        assert not result.success
+        assert time.monotonic() - started < 15.0
+
+
+class TestCliSubprocess:
+    def test_cli_as_real_subprocess(self, tmp_path):
+        script = tmp_path / "s.ftsh"
+        script.write_text('echo from-subprocess > %s\n' % (tmp_path / "out"))
+        completed = subprocess.run(
+            FTSH + [str(script)], capture_output=True, timeout=30
+        )
+        assert completed.returncode == 0
+        assert (tmp_path / "out").read_text().strip() == "from-subprocess"

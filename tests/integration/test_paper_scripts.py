@@ -1,0 +1,188 @@
+"""End-to-end runs of the paper's own listings against the simulated grid."""
+
+import pytest
+
+from repro.clients.base import ALOHA, ETHERNET
+from repro.core.backoff import BackoffPolicy
+from repro.grid.condor import CondorConfig, CondorWorld, register_condor_commands
+from repro.grid.httpserver import ReplicaWorld, register_replica_commands
+from repro.grid.storage import BufferConfig, BufferWorld, register_buffer_commands
+from repro.sim import Engine
+from repro.simruntime import CommandRegistry, SimFtsh
+
+DETERMINISTIC = BackoffPolicy(jitter_low=1.0, jitter_high=1.0)
+
+
+class TestIntroListing:
+    """The paper's opening example: nested try + forany across hosts."""
+
+    def test_fetch_file_with_alternates(self):
+        engine = Engine()
+        registry = CommandRegistry()
+        world = ReplicaWorld(engine, black_holes=("xxx",))
+        register_replica_commands(registry, world)
+
+        @registry.register("fetch-file")
+        def fetch_file(ctx):
+            # delegate to wget http://host/data semantics
+            host = ctx.args[0]
+            server = world.servers.get(host)
+            if server is None:
+                return 1
+            request = server.slot.request()
+            try:
+                yield request
+                if server.black_hole:
+                    yield ctx.engine.timeout(1e12)
+                yield ctx.engine.timeout(10.0)
+                return 0
+            except Exception:
+                raise
+            finally:
+                server.slot.release(request)
+
+        shell = SimFtsh(engine, registry, world=world, policy=DETERMINISTIC)
+        result = shell.run(
+            """
+try for 1 hour
+    forany host in xxx yyy zzz
+        try for 5 minutes
+            fetch-file $host filename
+        end
+    end
+end
+"""
+        )
+        assert result.success
+        assert result.variables["host"] == "yyy"  # first good one after the hole
+        # the black hole cost one 5-minute window
+        assert engine.now == pytest.approx(310.0)
+
+
+class TestSubmitterScripts:
+    def test_ethernet_submitter_defers_then_submits(self):
+        engine = Engine()
+        world = CondorWorld(engine, CondorConfig())
+        registry = CommandRegistry()
+        register_condor_commands(registry, world)
+        shell = SimFtsh(engine, registry, world=world, policy=DETERMINISTIC)
+
+        # Pin the table below threshold, release it after 10 s.
+        world.fdtable.allocate(world.config.fd_capacity - 500)
+
+        def releaser():
+            yield engine.timeout(10.0)
+            world.fdtable.release(world.config.fd_capacity - 500)
+
+        engine.process(releaser())
+        result = shell.run(
+            """
+try for 5 minutes
+    cut -f2 /proc/sys/fs/file-nr -> n
+    if ${n} .lt. 1000
+        failure
+    else
+        condor_submit submit.job
+    end
+end
+"""
+        )
+        assert result.success
+        assert world.schedd.jobs_submitted.count == 1
+        assert engine.now > 10.0  # it deferred while pinned
+
+
+class TestIOTransaction:
+    """§4: holding output in abeyance via variables."""
+
+    def test_variable_transaction(self):
+        engine = Engine()
+        registry = CommandRegistry()
+        attempts = []
+
+        @registry.register("run-simulation")
+        def run_simulation(ctx):
+            attempts.append(ctx.engine.now)
+            yield ctx.engine.timeout(1.0)
+            if len(attempts) < 3:
+                return (1, "partial garbage\n")
+            return (0, "final result\n")
+
+        shell = SimFtsh(engine, registry, policy=DETERMINISTIC)
+        result = shell.run(
+            """
+try 5 times
+    run-simulation ->& tmp
+end
+cat -< tmp -> shown
+"""
+        )
+        assert result.success
+        # Only the successful run's output was committed to the variable.
+        assert result.variables["shown"] == "final result"
+
+
+class TestCatchCleanup:
+    def test_paper_catch_listing(self):
+        engine = Engine()
+        registry = CommandRegistry()
+        removed = []
+
+        @registry.register("wget")
+        def wget(ctx):
+            yield ctx.engine.timeout(0.5)
+            return 1  # server is down today
+
+        @registry.register("rm")
+        def rm(ctx):
+            removed.append(tuple(ctx.args))
+            return 0
+            yield  # pragma: no cover
+
+        shell = SimFtsh(engine, registry, policy=DETERMINISTIC)
+        result = shell.run(
+            """
+try 5 times
+    wget http://server/file.tar.gz
+catch
+    rm -f file.tar.gz
+    failure
+end
+"""
+        )
+        assert not result.success
+        assert removed == [("-f", "file.tar.gz")]
+
+
+class TestBufferProducerScript:
+    def test_ethernet_producer_waits_for_room(self):
+        engine = Engine()
+        config = BufferConfig(capacity_mb=2.0)
+        world = BufferWorld(engine, config)
+        registry = CommandRegistry()
+        register_buffer_commands(registry, world)
+        world.start_consumer()
+
+        # Fill the buffer with a complete file the consumer will drain.
+        blocker = world.buffer.create(goal_mb=2.0)
+        world.buffer.grow(blocker, 2.0)
+        world.buffer.finish(blocker)
+
+        shell = SimFtsh(engine, registry, world=world,
+                        policy=DETERMINISTIC, name="p0")
+        result = shell.run(
+            """
+produce_output 0.5
+try for 60 seconds
+    df_estimate -> free
+    if ${free} .le. 0
+        failure
+    end
+    store_output
+end
+"""
+        )
+        assert result.success
+        # It must have deferred at least once while the consumer drained.
+        assert engine.now > 2.0
+        assert world.buffer.collisions.count == 0

@@ -1,0 +1,76 @@
+"""Property tests for the shared buffer's space accounting."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.storage import BufferConfig, SharedBuffer
+from repro.sim import Engine
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["create", "grow", "finish", "delete"]),
+        st.floats(min_value=0.01, max_value=3.0, allow_nan=False),
+    ),
+    max_size=80,
+)
+
+
+@given(operations)
+def test_used_never_exceeds_capacity(ops):
+    buffer = SharedBuffer(Engine(), BufferConfig(capacity_mb=10.0))
+    live = []
+    for kind, amount in ops:
+        if kind == "create":
+            live.append(buffer.create(goal_mb=amount))
+        elif kind == "grow" and live:
+            buffer.grow(live[-1], amount)
+        elif kind == "finish" and live:
+            buffer.finish(live[-1])
+        elif kind == "delete" and live:
+            buffer.delete(live.pop())
+        assert 0.0 <= buffer.used_mb <= buffer.config.capacity_mb + 1e-9
+        assert buffer.free_mb >= -1e-9
+
+
+@given(operations)
+def test_used_equals_sum_of_file_sizes(ops):
+    buffer = SharedBuffer(Engine(), BufferConfig(capacity_mb=10.0))
+    live = []
+    for kind, amount in ops:
+        if kind == "create":
+            live.append(buffer.create(goal_mb=amount))
+        elif kind == "grow" and live:
+            buffer.grow(live[0], amount)
+        elif kind == "delete" and live:
+            buffer.delete(live.pop(0), collided=True)
+    total = sum(f.size_mb for f in buffer.files.values())
+    assert abs(total - buffer.used_mb) < 1e-6
+
+
+@given(operations)
+def test_estimate_never_exceeds_df_free(ops):
+    """The carrier-sense estimate is always at least as pessimistic as df."""
+    buffer = SharedBuffer(Engine(), BufferConfig(capacity_mb=10.0))
+    live = []
+    for kind, amount in ops:
+        if kind == "create":
+            live.append(buffer.create(goal_mb=amount))
+        elif kind == "grow" and live:
+            buffer.grow(live[-1], amount)
+        elif kind == "finish" and live:
+            buffer.finish(live.pop())
+        assert buffer.estimate_free_mb() <= buffer.free_mb + 1e-9
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=2.0, allow_nan=False),
+                min_size=1, max_size=20))
+def test_collision_accounting(sizes):
+    buffer = SharedBuffer(Engine(), BufferConfig(capacity_mb=100.0))
+    for size in sizes:
+        entry = buffer.create(goal_mb=size)
+        buffer.grow(entry, size)
+        buffer.delete(entry, collided=True)
+    assert buffer.collisions.count == len(sizes)
+    assert buffer.mb_wasted == sum(sizes)
+    assert buffer.used_mb == 0.0

@@ -1,0 +1,85 @@
+"""Property tests for the DAG workflow structures."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.chimera import TaskDAG, bag_of_tasks, chain, layered_dag
+
+
+@given(
+    layers=st.integers(min_value=1, max_value=5),
+    width=st.integers(min_value=1, max_value=8),
+    fan_in=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_layered_dag_always_valid(layers, width, fan_in, seed):
+    """Generated DAGs are acyclic with only backward (previous-layer) deps —
+    TaskDAG's validation must accept every one."""
+    dag = layered_dag(layers, width, rng=random.Random(seed), fan_in=fan_in)
+    assert len(dag) == layers * width
+    assert len(dag.ready()) == width  # exactly the first layer
+
+
+@given(
+    layers=st.integers(min_value=1, max_value=4),
+    width=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_topological_drain(layers, width, seed):
+    """Repeatedly completing every ready task drains any generated DAG in
+    exactly ``layers`` rounds or fewer per-task (no deadlock)."""
+    dag = layered_dag(layers, width, rng=random.Random(seed))
+    rounds = 0
+    while not dag.all_done():
+        ready = dag.ready()
+        assert ready, "live DAG must always have a ready task"
+        for task in ready:
+            dag.complete(task.name)
+        rounds += 1
+        assert rounds <= layers
+    assert dag.done_count == len(dag)
+
+
+@given(count=st.integers(min_value=1, max_value=30))
+def test_bag_fully_parallel(count):
+    dag = bag_of_tasks(count)
+    assert len(dag.ready()) == count
+
+
+@given(length=st.integers(min_value=1, max_value=30))
+def test_chain_strictly_serial(length):
+    dag = chain(length)
+    completed = 0
+    while not dag.all_done():
+        ready = dag.ready()
+        assert len(ready) == 1
+        dag.complete(ready[0].name)
+        completed += 1
+    assert completed == length
+
+
+@given(
+    layers=st.integers(min_value=1, max_value=3),
+    width=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=50),
+    steps=st.lists(st.integers(min_value=0, max_value=4), max_size=20),
+)
+def test_dispatch_bookkeeping_never_double_offers(layers, width, seed, steps):
+    """Random interleavings of dispatch/complete never offer a task twice."""
+    dag = layered_dag(layers, width, rng=random.Random(seed))
+    dispatched: list = []
+    seen: set = set()
+    for step in steps:
+        ready = dag.ready()
+        for task in ready:
+            assert task.name not in seen
+        if step % 2 == 0 and ready:
+            task = ready[0]
+            dag.mark_dispatched(task.name)
+            dispatched.append(task.name)
+            seen.add(task.name)
+        elif dispatched:
+            name = dispatched.pop(0)
+            dag.complete(name)

@@ -1,0 +1,88 @@
+"""Property tests for condition evaluation: a random expression tree must
+evaluate identically to a straightforward Python reference."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.expressions import evaluate, truthy
+from repro.core.parser import parse
+from repro.core.variables import Scope
+
+# Leaves are integers compared against integers — always well-defined.
+leaf = st.tuples(
+    st.integers(min_value=-9, max_value=9),
+    st.sampled_from([".lt.", ".gt.", ".le.", ".ge.", ".eq.", ".ne."]),
+    st.integers(min_value=-9, max_value=9),
+)
+
+
+def leaf_text(leaf_value):
+    lhs, op, rhs = leaf_value
+    return f"{lhs} {op} {rhs}", _reference_leaf(lhs, op, rhs)
+
+
+def _reference_leaf(lhs, op, rhs):
+    import operator
+
+    table = {
+        ".lt.": operator.lt, ".gt.": operator.gt, ".le.": operator.le,
+        ".ge.": operator.ge, ".eq.": operator.eq, ".ne.": operator.ne,
+    }
+    return table[op](lhs, rhs)
+
+
+# A recursive expression strategy producing (text, expected_bool) pairs.
+def expressions():
+    base = st.builds(leaf_text, leaf)
+
+    def extend(children):
+        def negate(pair):
+            text, value = pair
+            return f".not. ( {text} )", not value
+
+        def combine(pairs_and_op):
+            (left, right), op = pairs_and_op
+            text = f"( {left[0]} ) {op} ( {right[0]} )"
+            value = (left[1] or right[1]) if op == ".or." else (left[1] and right[1])
+            return text, value
+
+        return st.one_of(
+            st.builds(negate, children),
+            st.builds(
+                combine,
+                st.tuples(st.tuples(children, children),
+                          st.sampled_from([".and.", ".or."])),
+            ),
+        )
+
+    return st.recursive(base, extend, max_leaves=8)
+
+
+@given(expressions())
+@settings(max_examples=300)
+def test_random_expression_matches_reference(pair):
+    text, expected = pair
+    script = parse(f"if {text}\n  success\nend")
+    condition = script.body.body[0].condition
+    assert evaluate(condition, Scope()) == expected
+
+
+@given(st.integers(min_value=-1000, max_value=1000),
+       st.integers(min_value=-1000, max_value=1000))
+def test_comparison_trichotomy(a, b):
+    scope = Scope({"a": str(a), "b": str(b)})
+
+    def holds(op):
+        script = parse(f"if ${{a}} {op} ${{b}}\n  success\nend")
+        return evaluate(script.body.body[0].condition, scope)
+
+    assert holds(".lt.") or holds(".gt.") or holds(".eq.")
+    assert holds(".le.") == (holds(".lt.") or holds(".eq."))
+    assert holds(".ne.") == (not holds(".eq."))
+
+
+@given(st.text(max_size=10))
+def test_truthy_total(text):
+    # truthy never raises and is consistent with its definition
+    result = truthy(text)
+    assert result == (bool(text) and text.lower() not in ("0", "false"))

@@ -1,0 +1,90 @@
+"""Property tests for the lexer and parser front-end."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import FtshSyntaxError
+from repro.core.lexer import tokenize
+from repro.core.parser import parse
+from repro.core.tokens import TokenKind
+
+#: Characters that are word-constituents in any position.
+word_chars = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+    "._/:=+,@%^",
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(st.lists(word_chars, min_size=1, max_size=8))
+def test_plain_words_roundtrip(words):
+    """Space-joined plain words lex back to exactly those words."""
+    text = " ".join(words)
+    tokens = tokenize(text)
+    lexed = [str(t.word) for t in tokens if t.kind is TokenKind.WORD]
+    assert lexed == words
+
+
+@given(word_chars)
+def test_double_quoting_preserves_text(word):
+    tokens = tokenize(f'"{word}"')
+    assert str(tokens[0].word) == word
+
+
+@given(st.text(alphabet=st.characters(blacklist_characters="'"), max_size=40))
+def test_single_quotes_take_anything(body):
+    tokens = tokenize(f"cmd '{body}'")
+    words = [t for t in tokens if t.kind is TokenKind.WORD]
+    assert len(words) == 2
+
+
+@given(st.text(max_size=60))
+@settings(max_examples=300)
+def test_lexer_never_hangs_or_crashes_unexpectedly(text):
+    """Arbitrary text either tokenizes or raises FtshSyntaxError —
+    nothing else, and always terminates."""
+    try:
+        tokens = tokenize(text)
+    except FtshSyntaxError:
+        return
+    assert tokens[-1].kind is TokenKind.EOF
+
+
+@given(st.text(max_size=80))
+@settings(max_examples=300)
+def test_parser_never_crashes_unexpectedly(text):
+    try:
+        parse(text)
+    except FtshSyntaxError:
+        return
+
+
+@given(st.lists(word_chars, min_size=1, max_size=5),
+       st.integers(min_value=1, max_value=99))
+def test_generated_try_scripts_parse(words, attempts):
+    # a first word like "A=b" would (correctly) parse as an assignment
+    words = ["cmd"] + words
+    command = " ".join(words)
+    script = parse(f"try {attempts} times\n  {command}\nend")
+    statement = script.body.body[0]
+    assert statement.limits.attempts == attempts
+
+
+@given(st.lists(word_chars.filter(lambda w: "=" not in w),
+                min_size=1, max_size=4))
+def test_generated_forany_parses(hosts):
+    script = parse(f"forany h in {' '.join(hosts)}\n  cmd ${{h}}\nend")
+    assert len(script.body.body[0].values) == len(hosts)
+
+
+@given(st.lists(word_chars.filter(lambda w: "=" not in w),
+                min_size=1, max_size=5))
+def test_format_fixed_point_for_commands(words):
+    """parse -> format reaches a fixed point in one step."""
+    from repro.core.pretty import format_script
+
+    text = " ".join(words)
+    once = format_script(parse(text))
+    twice = format_script(parse(once))
+    assert once == twice

@@ -1,0 +1,101 @@
+"""TimeSeries, Counter, periodic sampling."""
+
+import pytest
+
+from repro.sim import Counter, Engine, TimeSeries, sample
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+class TestTimeSeries:
+    def test_record_and_iterate(self):
+        series = TimeSeries("s")
+        series.record(0.0, 1.0)
+        series.record(1.0, 2.0)
+        assert list(series) == [(0.0, 1.0), (1.0, 2.0)]
+        assert len(series) == 2
+
+    def test_time_must_not_go_backwards(self):
+        series = TimeSeries("s")
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(4.0, 2.0)
+
+    def test_same_time_allowed(self):
+        series = TimeSeries("s")
+        series.record(1.0, 1.0)
+        series.record(1.0, 2.0)
+        assert series.at(1.0) == 2.0
+
+    def test_at_step_semantics(self):
+        series = TimeSeries("s")
+        series.record(10.0, 100.0)
+        series.record(20.0, 200.0)
+        assert series.at(5.0, default=-1.0) == -1.0
+        assert series.at(10.0) == 100.0
+        assert series.at(15.0) == 100.0
+        assert series.at(25.0) == 200.0
+
+    def test_resample(self):
+        series = TimeSeries("s")
+        series.record(0.0, 1.0)
+        series.record(10.0, 2.0)
+        assert series.resample([0.0, 5.0, 10.0, 15.0]) == [1.0, 1.0, 2.0, 2.0]
+
+    def test_stats(self):
+        series = TimeSeries("s")
+        for t, v in enumerate((3.0, 1.0, 2.0)):
+            series.record(float(t), v)
+        assert series.minimum() == 1.0
+        assert series.maximum() == 3.0
+        assert series.mean() == 2.0
+        assert series.last == 2.0
+
+    def test_empty_stats(self):
+        series = TimeSeries("s")
+        assert series.last == 0.0
+        assert series.mean() == 0.0
+
+
+class TestCounter:
+    def test_count_and_series(self, engine):
+        counter = Counter(engine, "c")
+
+        def body():
+            counter.increment()
+            yield engine.timeout(5)
+            counter.increment(2)
+
+        engine.run(until=engine.process(body()))
+        assert counter.count == 3
+        assert int(counter) == 3
+        assert list(counter.series) == [(0.0, 1), (5.0, 3)]
+
+    def test_no_series(self, engine):
+        counter = Counter(engine, "c", keep_series=False)
+        counter.increment()
+        assert counter.series is None
+        assert counter.count == 1
+
+
+class TestSample:
+    def test_samples_on_interval(self, engine):
+        series = TimeSeries("probe")
+        state = {"v": 0.0}
+        sample(engine, 2.0, lambda: state["v"], series, until=10.0)
+
+        def mutator():
+            yield engine.timeout(5)
+            state["v"] = 9.0
+
+        engine.process(mutator())
+        engine.run(until=10.0)
+        assert series.times == [0.0, 2.0, 4.0, 6.0, 8.0, 10.0]
+        assert series.values == [0.0, 0.0, 0.0, 9.0, 9.0, 9.0]
+
+    def test_bad_interval(self, engine):
+        with pytest.raises(ValueError):
+            sample(engine, 0.0, lambda: 0.0, TimeSeries("x"))

@@ -1,0 +1,203 @@
+"""Generator processes: values, exceptions, interrupts."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.sim import Engine, Interrupt
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+class TestBasics:
+    def test_return_value(self, engine):
+        def body():
+            yield engine.timeout(2)
+            return "done"
+
+        assert engine.run(until=engine.process(body())) == "done"
+        assert engine.now == 2.0
+
+    def test_process_is_event(self, engine):
+        def quick():
+            return "x"
+            yield
+
+        def waiter(target):
+            value = yield target
+            return f"saw {value}"
+
+        target = engine.process(quick())
+        result = engine.run(until=engine.process(waiter(target)))
+        assert result == "saw x"
+
+    def test_sequential_timeouts(self, engine):
+        marks = []
+
+        def body():
+            yield engine.timeout(1)
+            marks.append(engine.now)
+            yield engine.timeout(2)
+            marks.append(engine.now)
+
+        engine.run(until=engine.process(body()))
+        assert marks == [1.0, 3.0]
+
+    def test_exception_fails_process(self, engine):
+        def body():
+            yield engine.timeout(1)
+            raise ValueError("inside")
+
+        with pytest.raises(ValueError):
+            engine.run(until=engine.process(body()))
+
+    def test_unwaited_failure_crashes_engine(self, engine):
+        def body():
+            yield engine.timeout(1)
+            raise ValueError("unhandled")
+
+        engine.process(body())
+        with pytest.raises(ValueError):
+            engine.run()
+
+    def test_waiting_on_failed_event_throws_into_generator(self, engine):
+        def failer():
+            yield engine.timeout(1)
+            raise RuntimeError("dead")
+
+        def waiter(target):
+            try:
+                yield target
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        target = engine.process(failer())
+        result = engine.run(until=engine.process(waiter(target)))
+        assert result == "caught dead"
+
+    def test_non_generator_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.process(lambda: None)
+
+    def test_yield_non_event_raises_at_yield_point(self, engine):
+        def body():
+            try:
+                yield 42
+            except SimulationError:
+                return "told off"
+
+        assert engine.run(until=engine.process(body())) == "told off"
+
+    def test_waiting_on_already_processed_event(self, engine):
+        timeout = engine.timeout(1, value="v")
+        engine.run()
+
+        def body():
+            value = yield timeout
+            return value
+
+        assert engine.run(until=engine.process(body())) == "v"
+
+    def test_is_alive(self, engine):
+        def body():
+            yield engine.timeout(5)
+
+        process = engine.process(body())
+        assert process.is_alive
+        engine.run()
+        assert not process.is_alive
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self, engine):
+        def sleeper():
+            try:
+                yield engine.timeout(100)
+            except Interrupt as interrupt:
+                return f"cause={interrupt.cause}"
+
+        def interrupter(target):
+            yield engine.timeout(2)
+            target.interrupt("wake-up")
+
+        target = engine.process(sleeper())
+        engine.process(interrupter(target))
+        assert engine.run(until=target) == "cause=wake-up"
+        assert engine.now == pytest.approx(2.0)
+
+    def test_original_event_does_not_resume_later(self, engine):
+        resumed_twice = []
+
+        def sleeper():
+            try:
+                yield engine.timeout(10)
+            except Interrupt:
+                pass
+            yield engine.timeout(100)  # wait well past the original timeout
+            resumed_twice.append(engine.now)
+
+        def interrupter(target):
+            yield engine.timeout(1)
+            target.interrupt()
+
+        target = engine.process(sleeper())
+        engine.process(interrupter(target))
+        engine.run()
+        assert resumed_twice == [101.0]
+
+    def test_interrupt_terminated_rejected(self, engine):
+        def body():
+            return None
+            yield
+
+        process = engine.process(body())
+        engine.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+    def test_self_interrupt_rejected(self, engine):
+        def body():
+            this = engine.active_process
+            with pytest.raises(SimulationError):
+                this.interrupt()
+            yield engine.timeout(1)
+
+        engine.run(until=engine.process(body()))
+
+    def test_interrupt_at_creation_instant_reaches_try_block(self, engine):
+        """An interrupt queued before the process first runs must still be
+        delivered *inside* the generator, not bypass it."""
+
+        def body():
+            try:
+                yield engine.timeout(100)
+            except Interrupt:
+                return "caught"
+
+        def spawner():
+            target = engine.process(body())
+            target.interrupt("immediately")
+            return target
+            yield  # pragma: no cover
+
+        def driver():
+            target = yield from spawner()
+            value = yield target
+            return value
+
+        assert engine.run(until=engine.process(driver())) == "caught"
+
+    def test_uncaught_interrupt_fails_process(self, engine):
+        def stubborn():
+            yield engine.timeout(100)
+
+        def interrupter(target):
+            yield engine.timeout(1)
+            target.interrupt()
+
+        target = engine.process(stubborn())
+        engine.process(interrupter(target))
+        with pytest.raises(Interrupt):
+            engine.run(until=target)

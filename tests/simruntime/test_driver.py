@@ -1,0 +1,148 @@
+"""SimDriver mechanics: deadlines, interrupts, resource cleanup."""
+
+import pytest
+
+from repro.core.backoff import BackoffPolicy
+from repro.sim import Engine, Interrupt, Resource
+from repro.simruntime import CommandRegistry, SimFtsh
+
+DETERMINISTIC = BackoffPolicy(jitter_low=1.0, jitter_high=1.0)
+
+
+class TestDeadlines:
+    def test_command_raced_against_deadline(self):
+        engine = Engine()
+        registry = CommandRegistry()
+
+        @registry.register("hang")
+        def hang(ctx):
+            yield ctx.engine.timeout(1e9)
+            return 0
+
+        shell = SimFtsh(engine, registry, policy=DETERMINISTIC)
+        result = shell.run("try for 30 seconds\n  hang\nend")
+        assert not result.success
+        assert engine.now == pytest.approx(30.0)
+
+    def test_handler_cleanup_on_deadline(self):
+        """An interrupted handler must be able to release what it holds."""
+        engine = Engine()
+        registry = CommandRegistry()
+        resource = Resource(engine, capacity=1)
+        released = []
+
+        @registry.register("holder")
+        def holder(ctx):
+            request = resource.request()
+            try:
+                yield request
+                yield ctx.engine.timeout(1e9)
+                return 0
+            except Interrupt:
+                return 1
+            finally:
+                resource.release(request)
+                released.append(ctx.engine.now)
+
+        shell = SimFtsh(engine, registry, policy=DETERMINISTIC)
+        shell.run("try for 5 seconds\n  holder\nend")
+        assert released == [5.0]
+        assert resource.count == 0
+
+    def test_uncaught_interrupt_shielded(self):
+        """A handler that ignores Interrupt becomes a dead command, not a
+        crashed simulation."""
+        engine = Engine()
+        registry = CommandRegistry()
+
+        @registry.register("stubborn")
+        def stubborn(ctx):
+            yield ctx.engine.timeout(1e9)
+            return 0
+
+        shell = SimFtsh(engine, registry, policy=DETERMINISTIC)
+        result = shell.run("try for 2 seconds\n  stubborn\nend")
+        assert not result.success
+
+    def test_deadline_already_passed(self):
+        engine = Engine()
+        registry = CommandRegistry()
+        calls = []
+
+        @registry.register("never")
+        def never(ctx):
+            calls.append(1)
+            return 0
+            yield
+
+        shell = SimFtsh(engine, registry, policy=DETERMINISTIC)
+        # sleep consumes the whole try window; the second command's
+        # deadline has passed before it starts.
+        result = shell.run("try for 5 seconds\n  sleep 5\n  never\nend")
+        assert not result.success
+        assert calls == []
+
+
+class TestParallelBranches:
+    def test_sibling_cancellation_releases_resources(self):
+        engine = Engine()
+        registry = CommandRegistry()
+        resource = Resource(engine, capacity=2)
+
+        @registry.register("hold")
+        def hold(ctx):
+            request = resource.request()
+            try:
+                yield request
+                yield ctx.engine.timeout(float(ctx.args[0]))
+                return int(ctx.args[1])
+            except Interrupt:
+                return 1
+            finally:
+                resource.release(request)
+
+        shell = SimFtsh(engine, registry, policy=DETERMINISTIC)
+        result = shell.run("forall x in a b\n  hold 1 1\nend")
+        assert not result.success
+        assert resource.count == 0
+
+    def test_unknown_command_exit_127(self):
+        engine = Engine()
+        shell = SimFtsh(engine, CommandRegistry(), policy=DETERMINISTIC)
+        result = shell.run("imaginary_cmd")
+        assert not result.success
+        assert "exited 127" in result.reason
+
+
+class TestClock:
+    def test_driver_now_tracks_engine(self):
+        engine = Engine()
+        shell = SimFtsh(engine, CommandRegistry())
+        assert shell.driver.now() == 0.0
+        shell.run("sleep 10")
+        assert shell.driver.now() == 10.0
+
+    def test_run_result_elapsed_virtual(self):
+        engine = Engine()
+        shell = SimFtsh(engine, CommandRegistry())
+        result = shell.run("sleep 7")
+        assert result.elapsed == pytest.approx(7.0)
+
+
+class TestSpawn:
+    def test_spawn_returns_process_with_result(self):
+        engine = Engine()
+        shell = SimFtsh(engine, CommandRegistry())
+        process = shell.spawn("sleep 3")
+        result = engine.run(until=process)
+        assert result.success
+        assert engine.now == 3.0
+
+    def test_many_shells_share_engine(self):
+        engine = Engine()
+        registry = CommandRegistry()
+        shells = [SimFtsh(engine, registry, name=f"s{i}") for i in range(5)]
+        processes = [s.spawn("sleep 2") for s in shells]
+        engine.run()
+        assert engine.now == 2.0
+        assert all(p.value.success for p in processes)

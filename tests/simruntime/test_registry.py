@@ -1,0 +1,84 @@
+"""Command registry, builtins, result normalization."""
+
+import pytest
+
+from repro.core.effects import CommandResult
+from repro.core.errors import FtshRuntimeError
+from repro.sim import Engine
+from repro.simruntime import CommandRegistry, SimFtsh
+from repro.simruntime.registry import normalize_result
+
+
+class TestNormalize:
+    def test_none_is_success(self):
+        assert normalize_result(None, "x").exit_code == 0
+
+    def test_int(self):
+        assert normalize_result(3, "x").exit_code == 3
+
+    def test_tuple(self):
+        result = normalize_result((0, "text"), "x")
+        assert result.exit_code == 0
+        assert result.output == "text"
+
+    def test_passthrough(self):
+        original = CommandResult(exit_code=1, detail="d")
+        assert normalize_result(original, "x") is original
+
+    def test_garbage_rejected(self):
+        with pytest.raises(FtshRuntimeError):
+            normalize_result(["bad"], "x")
+
+
+class TestRegistry:
+    def test_register_decorator(self):
+        registry = CommandRegistry(include_builtins=False)
+
+        @registry.register("mine")
+        def mine(ctx):
+            return 0
+            yield
+
+        assert "mine" in registry
+        assert registry.get("mine") is mine
+
+    def test_add(self):
+        registry = CommandRegistry(include_builtins=False)
+
+        def handler(ctx):
+            return 0
+            yield
+
+        registry.add("other", handler)
+        assert registry.get("other") is handler
+
+    def test_unknown_is_none(self):
+        assert CommandRegistry().get("nope") is None
+
+    def test_names_sorted(self):
+        registry = CommandRegistry(include_builtins=False)
+        registry.add("b", lambda ctx: iter(()))
+        registry.add("a", lambda ctx: iter(()))
+        assert registry.names() == ["a", "b"]
+
+
+class TestBuiltins:
+    def setup_method(self):
+        self.engine = Engine()
+        self.shell = SimFtsh(self.engine, CommandRegistry())
+
+    def test_echo(self):
+        result = self.shell.run("echo a b -> v")
+        assert result.variables["v"] == "a b"
+
+    def test_true_false(self):
+        assert self.shell.run("true").success
+        assert not self.shell.run("false").success
+
+    def test_cat_passes_stdin(self):
+        result = self.shell.run("x=data\ncat -< x -> y")
+        assert result.variables["y"] == "data"
+
+    def test_sleep_advances_virtual_clock(self):
+        self.shell.run("sleep 42")
+        assert self.engine.now == 42.0
