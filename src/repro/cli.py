@@ -37,11 +37,26 @@ def _parse_timeout(text: str) -> float:
     return float(stripped)
 
 
+def _version() -> str:
+    """Installed distribution version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        from . import __version__
+
+        return __version__
+
+
 def build_argparser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ftsh",
         description="The fault tolerant shell: retry, alternation and "
         "timeouts as language constructs (Thain & Livny, HPDC 2003).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
     )
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument("script", nargs="?", help="script file to run")
@@ -97,6 +112,29 @@ def build_argparser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a post-mortem analysis (per-command failure rates, "
         "backoff totals, branch frequencies) to stderr",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a Chrome trace_event JSON of the run (open in "
+        "chrome://tracing or ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--spans",
+        metavar="FILE",
+        help="write the raw span log as JSONL (read back with "
+        "python -m repro.obs.report)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write run metrics in Prometheus text exposition format",
+    )
+    parser.add_argument(
+        "--obs-report",
+        action="store_true",
+        help="print a telemetry summary (span stats, slowest commands, "
+        "backoff totals) to stderr",
     )
     return parser
 
@@ -156,11 +194,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.max_parallel is not None and args.max_parallel < 1:
         print(f"ftsh: bad --max-parallel {args.max_parallel}", file=sys.stderr)
         return 2
-    driver = RealDriver(max_parallel=args.max_parallel)
+
+    obs = None
+    if args.trace or args.spans or args.metrics or args.obs_report:
+        from .obs.api import Observability
+
+        obs = Observability()
+    driver = RealDriver(max_parallel=args.max_parallel, obs=obs)
     level = {"results": LOG_RESULTS, "commands": LOG_COMMANDS,
              "trace": LOG_TRACE}[args.log_level]
     spool = SpoolPolicy(args.spool_dir) if args.spool_dir else None
-    shell = Ftsh(driver=driver, spool=spool, log_level=level)
+    shell = Ftsh(driver=driver, spool=spool, log_level=level, obs=obs)
     result = shell.run(script, variables=variables, timeout=timeout)
 
     if args.log:
@@ -175,6 +219,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .core.analysis import analyze
 
         print(analyze(result.log).report(), file=sys.stderr)
+    if obs is not None:
+        from .obs.exporters import (
+            write_chrome_trace,
+            write_prometheus,
+            write_spans_jsonl,
+        )
+
+        exports = (
+            (args.trace, write_chrome_trace, obs.tracer),
+            (args.spans, write_spans_jsonl, obs.tracer),
+            (args.metrics, write_prometheus, obs.metrics),
+        )
+        for path, writer, source in exports:
+            if not path:
+                continue
+            try:
+                writer(source, path)
+            except OSError as exc:
+                print(f"ftsh: cannot write {path}: {exc}", file=sys.stderr)
+        if args.obs_report:
+            from .obs.report import render_report
+
+            print(render_report(tracer=obs.tracer, registry=obs.metrics),
+                  file=sys.stderr)
     if not result.success and result.reason:
         print(f"ftsh: script failed: {result.reason}", file=sys.stderr)
     return 0 if result.success else 1

@@ -30,6 +30,14 @@ class Discipline:
     def __str__(self) -> str:
         return self.name
 
+    def labels(self, **extra: str) -> dict[str, str]:
+        """Constant labels for a telemetry stream produced under this
+        discipline (e.g. ``Observability(const_labels=ETHERNET.labels(
+        scenario="submit"))``)."""
+        labels = {"discipline": self.name}
+        labels.update(extra)
+        return labels
+
 
 #: Retry immediately, forever, blindly.
 FIXED = Discipline("fixed", NO_BACKOFF, carrier_sense=False)

@@ -47,6 +47,8 @@ from .errors import (
     FtshRuntimeError,
     FtshTimeout,
 )
+from ..obs.api import NULL_OBS
+from ..obs.spans import Span
 from .expressions import evaluate as evaluate_expr
 from .shell_log import EventKind, ShellLog
 from .timeline import UNBOUNDED, AttemptBudget, DeadlineStack
@@ -71,6 +73,8 @@ class Interpreter:
         policy: BackoffPolicy = PAPER_POLICY,
         log: Optional[ShellLog] = None,
         functions: Optional[dict[str, ast.FunctionDef]] = None,
+        obs: Any = NULL_OBS,
+        span_parent: Optional[Span] = None,
     ) -> None:
         self.scope = scope if scope is not None else Scope()
         self.policy = policy
@@ -81,6 +85,34 @@ class Interpreter:
             functions if functions is not None else {}
         )
         self._call_depth = 0
+        #: Telemetry context (tracer + metrics); NULL_OBS no-ops when off.
+        self.obs = obs
+        #: The span new spans nest under (a forall branch starts under
+        #: its branch span; a top-level script starts at the root).
+        self._span: Optional[Span] = span_parent
+        metrics = obs.metrics
+        self._m_scripts = metrics.counter(
+            "ftsh_scripts_total", "scripts finished", labels=("result",))
+        self._m_commands = metrics.counter(
+            "ftsh_commands_total", "commands run", labels=("command", "outcome"))
+        self._m_command_seconds = metrics.histogram(
+            "ftsh_command_seconds", "command wall/virtual time",
+            labels=("command",))
+        self._m_attempts = metrics.counter(
+            "ftsh_try_attempts_total", "try-block attempts started")
+        self._m_backoffs = metrics.counter(
+            "ftsh_backoff_initiations_total",
+            "backoff sleeps begun (the administrator overload signal)")
+        self._m_backoff_seconds = metrics.histogram(
+            "ftsh_backoff_seconds", "backoff delay chosen by the policy")
+        self._m_exhausted = metrics.counter(
+            "ftsh_try_exhausted_total", "try blocks that ran out of budget")
+        self._m_catches = metrics.counter(
+            "ftsh_catch_entered_total", "catch blocks entered")
+        self._m_forany_picks = metrics.counter(
+            "ftsh_forany_picks_total", "forany alternatives attempted")
+        self._m_forall_branches = metrics.counter(
+            "ftsh_forall_branches_total", "forall branches spawned")
 
     # ------------------------------------------------------------------
     # Entry points
@@ -91,16 +123,30 @@ class Interpreter:
 
     def _execute_top(self, body: ast.Group, overall_deadline: float) -> EvalGen:
         self.deadlines.push(overall_deadline)
+        tracer = self.obs.tracer
+        span = tracer.start("script", "script", parent=self._span)
+        outer, self._span = self._span, span
         try:
             yield from self.eval_group(body)
             self.log.record(EventKind.SCRIPT_RESULT, "success")
+            tracer.finish(span, "ok")
+            self._m_scripts.labels(result="success").inc()
         except FtshFailure as failure:
             self.log.record(EventKind.SCRIPT_RESULT, f"failure: {failure.reason}")
+            tracer.finish(span, "failed", reason=failure.reason)
+            self._m_scripts.labels(result="failure").inc()
             raise
         except FtshTimeout as timeout:
             self.log.record(EventKind.SCRIPT_RESULT, f"timeout: {timeout.reason}")
+            tracer.finish(span, "timeout", reason=timeout.reason)
+            self._m_scripts.labels(result="timeout").inc()
+            raise
+        except BaseException:
+            tracer.finish(span, "cancelled")
+            self._m_scripts.labels(result="cancelled").inc()
             raise
         finally:
+            self._span = outer
             self.deadlines.pop()
 
     # ------------------------------------------------------------------
@@ -150,6 +196,7 @@ class Interpreter:
         if argv[0] in self.functions:
             yield from self.call_function(self.functions[argv[0]], argv, node)
             return
+        tracer = self.obs.tracer
 
         effect = RunCommand(argv=argv, deadline=self.deadlines.effective())
         capture_var: str | None = None
@@ -179,9 +226,20 @@ class Interpreter:
                     capture_var = None
 
         self.log.record(EventKind.COMMAND_START, " ".join(argv), node.line)
-        result: CommandResult = yield effect
+        span = tracer.start(f"command:{argv[0]}", "command", parent=self._span,
+                            argv=" ".join(argv), line=node.line or None)
+        try:
+            result: CommandResult = yield effect
+        except BaseException:
+            # FtshCancelled thrown in at the yield (losing forall branch),
+            # or generator teardown: the command did not report a result.
+            tracer.finish(span, "cancelled")
+            self._m_commands.labels(command=argv[0], outcome="cancelled").inc()
+            raise
         if result.timed_out:
             self.log.record(EventKind.COMMAND_TIMEOUT, " ".join(argv), node.line)
+            tracer.finish(span, "timeout", detail=result.detail or None)
+            self._m_commands.labels(command=argv[0], outcome="timeout").inc()
             raise FtshTimeout(self.deadlines.effective(), f"{argv[0]} hit time limit")
         if result.exit_code != 0:
             self.log.record(
@@ -189,6 +247,9 @@ class Interpreter:
                 f"{' '.join(argv)} exited {result.exit_code} {result.detail}".rstrip(),
                 node.line,
             )
+            tracer.finish(span, "failed", exit_code=result.exit_code,
+                          detail=result.detail or None)
+            self._m_commands.labels(command=argv[0], outcome="failed").inc()
             raise FtshFailure(f"{argv[0]} exited {result.exit_code}")
         if capture_var is not None:
             text = (result.output or "").rstrip("\n")
@@ -197,6 +258,10 @@ class Interpreter:
             else:
                 self.scope.set(capture_var, text)
         self.log.record(EventKind.COMMAND_END, argv[0], node.line)
+        tracer.finish(span, "ok")
+        self._m_commands.labels(command=argv[0], outcome="ok").inc()
+        if span.end is not None:
+            self._m_command_seconds.labels(command=argv[0]).observe(span.duration)
 
     def call_function(
         self, function: ast.FunctionDef, argv: list[str], node: ast.Command
@@ -223,9 +288,24 @@ class Interpreter:
         for name, value in bindings.items():
             self.scope.set(name, value)
         self._call_depth += 1
+        tracer = self.obs.tracer
+        span = tracer.start(f"function:{function.name}", "function",
+                            parent=self._span, line=node.line or None)
+        caller_span, self._span = self._span, span
         try:
             yield from self.eval_group(function.body)
+            tracer.finish(span, "ok")
+        except FtshFailure:
+            tracer.finish(span, "failed")
+            raise
+        except FtshTimeout:
+            tracer.finish(span, "timeout")
+            raise
+        except BaseException:
+            tracer.finish(span, "cancelled")
+            raise
         finally:
+            self._span = caller_span
             self._call_depth -= 1
             for name, previous in saved.items():
                 if previous is None:
@@ -238,29 +318,102 @@ class Interpreter:
     # ------------------------------------------------------------------
     def eval_try(self, node: ast.Try) -> EvalGen:
         now = yield GetTime()
+        tracer = self.obs.tracer
+        span = tracer.start(
+            "try", "try", parent=self._span, line=node.line or None,
+            limit_seconds=node.limits.duration,
+            limit_attempts=node.limits.attempts,
+        )
+        enclosing, self._span = self._span, span
+        try:
+            succeeded, attempts = yield from self._try_attempts(node, now, span)
+            if succeeded:
+                tracer.finish(span, "ok", attempts=attempts)
+                return
+
+            # Exhausted.  The expired deadline is already popped, so the
+            # catch block runs under the *enclosing* limits only.
+            if node.catch is not None:
+                self.log.record(EventKind.CATCH_ENTERED, line=node.line)
+                self._m_catches.inc()
+                catch_span = tracer.start("catch", "catch", parent=span,
+                                          line=node.line or None)
+                self._span = catch_span
+                try:
+                    yield from self.eval_group(node.catch)
+                    tracer.finish(catch_span, "ok")
+                except FtshFailure:
+                    tracer.finish(catch_span, "failed")
+                    raise
+                except FtshTimeout:
+                    tracer.finish(catch_span, "timeout")
+                    raise
+                except BaseException:
+                    tracer.finish(catch_span, "cancelled")
+                    raise
+                finally:
+                    self._span = span
+                tracer.finish(span, "ok", attempts=attempts, caught=True)
+                return
+            tracer.finish(span, "failed", attempts=attempts)
+            raise FtshFailure(f"try exhausted after {attempts} attempts")
+        except FtshTimeout:
+            tracer.finish(span, "timeout")
+            raise
+        except FtshFailure:
+            tracer.finish(span, "failed")
+            raise
+        except BaseException:
+            tracer.finish(span, "cancelled")
+            raise
+        finally:
+            self._span = enclosing
+
+    def _try_attempts(
+        self, node: ast.Try, now: float, span: Optional[Span]
+    ) -> Generator[Effect, Any, tuple[bool, int]]:
+        """The retry loop of one ``try``: returns (succeeded, attempts).
+
+        Re-raises timeouts belonging to enclosing windows; converts this
+        try's own expiry into ``(False, n)`` so the caller can run the
+        catch block.
+        """
         wanted = UNBOUNDED if node.limits.duration is None else now + node.limits.duration
         clipped = self.deadlines.push(wanted)
         budget = AttemptBudget(deadline=clipped, max_attempts=node.limits.attempts)
         backoff = BackoffState(self.policy)
         succeeded = False
         attempt_start = now
+        tracer = self.obs.tracer
         try:
             while True:
                 budget.start_attempt()
                 self.log.record(
                     EventKind.TRY_ATTEMPT, f"attempt {budget.attempts}", node.line
                 )
+                self._m_attempts.inc()
+                attempt_span = tracer.start(
+                    f"attempt:{budget.attempts}", "attempt", parent=span
+                )
+                self._span = attempt_span
                 try:
                     yield from self.eval_group(node.body)
                     succeeded = True
+                    tracer.finish(attempt_span, "ok")
                     self.log.record(EventKind.TRY_SUCCESS, f"after {budget.attempts}", node.line)
-                    return
+                    return True, budget.attempts
                 except FtshFailure:
-                    pass
+                    tracer.finish(attempt_span, "failed")
                 except FtshTimeout as timeout:
+                    tracer.finish(attempt_span, "timeout")
                     if timeout.deadline < clipped:
                         raise  # belongs to an enclosing try
                     break  # our own window expired mid-attempt
+                except BaseException:
+                    tracer.finish(attempt_span, "cancelled")
+                    raise
+                finally:
+                    self._span = span
                 now = yield GetTime()
                 if not budget.may_retry(now):
                     break
@@ -283,7 +436,18 @@ class Interpreter:
                         node.line,
                         value=delay,
                     )
-                    sleep_result: SleepResult = yield Sleep(delay, clipped)
+                    self._m_backoffs.inc()
+                    self._m_backoff_seconds.observe(delay)
+                    sleep_span = tracer.start(
+                        f"backoff:{budget.attempts}", "backoff", parent=span,
+                        delay=delay,
+                    )
+                    try:
+                        sleep_result: SleepResult = yield Sleep(delay, clipped)
+                    except BaseException:
+                        tracer.finish(sleep_span, "cancelled")
+                        raise
+                    tracer.finish(sleep_span, "ok", slept=sleep_result.slept)
                     if sleep_result.timed_out:
                         break
                     attempt_start = now + sleep_result.slept
@@ -293,72 +457,123 @@ class Interpreter:
                 self.log.record(
                     EventKind.TRY_EXHAUSTED, f"after {budget.attempts} attempts", node.line
                 )
-
-        # Exhausted.  The expired deadline is already popped, so the catch
-        # block runs under the *enclosing* limits only.
-        if node.catch is not None:
-            self.log.record(EventKind.CATCH_ENTERED, line=node.line)
-            yield from self.eval_group(node.catch)
-            return
-        raise FtshFailure(f"try exhausted after {budget.attempts} attempts")
+                self._m_exhausted.inc()
+        return False, budget.attempts
 
     # ------------------------------------------------------------------
     # forany / forall
     # ------------------------------------------------------------------
     def eval_forany(self, node: ast.ForAny) -> EvalGen:
+        tracer = self.obs.tracer
+        span = tracer.start(f"forany:{node.var}", "forany", parent=self._span,
+                            line=node.line or None,
+                            alternatives=len(node.values))
+        enclosing, self._span = self._span, span
         last_failure: FtshFailure | None = None
-        for value_word in node.values:
-            value = expand_word(value_word, self.scope)
-            self.scope.set(node.var, value)
-            self.log.record(EventKind.FORANY_PICK, f"{node.var}={value}", node.line)
-            try:
-                yield from self.eval_group(node.body)
-                return  # winner; node.var keeps the successful value
-            except FtshFailure as failure:
-                last_failure = failure
-        reason = last_failure.reason if last_failure else "no alternatives"
-        raise FtshFailure(f"forany exhausted all alternatives (last: {reason})")
+        try:
+            for value_word in node.values:
+                value = expand_word(value_word, self.scope)
+                self.scope.set(node.var, value)
+                self.log.record(EventKind.FORANY_PICK, f"{node.var}={value}", node.line)
+                self._m_forany_picks.inc()
+                alt_span = tracer.start(f"alt:{value}", "alt", parent=span)
+                self._span = alt_span
+                try:
+                    yield from self.eval_group(node.body)
+                    tracer.finish(alt_span, "ok")
+                    tracer.finish(span, "ok", winner=value)
+                    return  # winner; node.var keeps the successful value
+                except FtshFailure as failure:
+                    tracer.finish(alt_span, "failed")
+                    last_failure = failure
+                except FtshTimeout:
+                    tracer.finish(alt_span, "timeout")
+                    raise
+                except BaseException:
+                    tracer.finish(alt_span, "cancelled")
+                    raise
+                finally:
+                    self._span = span
+            reason = last_failure.reason if last_failure else "no alternatives"
+            tracer.finish(span, "failed")
+            raise FtshFailure(f"forany exhausted all alternatives (last: {reason})")
+        except FtshTimeout:
+            tracer.finish(span, "timeout")
+            raise
+        except BaseException:
+            # finish() is idempotent, so an earlier ok/failed verdict sticks.
+            tracer.finish(span, "cancelled")
+            raise
+        finally:
+            self._span = enclosing
 
     def eval_forall(self, node: ast.ForAll) -> EvalGen:
+        tracer = self.obs.tracer
+        span = tracer.start(f"forall:{node.var}", "forall", parent=self._span,
+                            line=node.line or None, branches=len(node.values))
+        branch_spans: list[Optional[Span]] = []
         branches: list[ParallelBranch] = []
         for index, value_word in enumerate(node.values):
             value = expand_word(value_word, self.scope)
             branch_scope = self.scope.child()
             branch_scope.set(node.var, value)
+            branch_span = tracer.start(f"branch:{node.var}={value}", "branch",
+                                       parent=span)
+            branch_spans.append(branch_span)
             branch = Interpreter(branch_scope, self.policy, self.log,
-                                 functions=self.functions)
+                                 functions=self.functions,
+                                 obs=self.obs, span_parent=branch_span)
             # Branches inherit the current effective deadline as their base.
             branch.deadlines.push(self.deadlines.effective())
             generator = branch._branch_body(node.body)
             branches.append(ParallelBranch(f"{node.var}={value}#{index}", generator))
             self.log.record(EventKind.FORALL_SPAWN, f"{node.var}={value}", node.line)
+            self._m_forall_branches.inc()
 
-        result: ParallelResult = yield RunParallel(
-            branches, deadline=self.deadlines.effective()
-        )
+        try:
+            result: ParallelResult = yield RunParallel(
+                branches, deadline=self.deadlines.effective()
+            )
+        except BaseException:
+            for branch_span in branch_spans:
+                tracer.finish(branch_span, "cancelled")
+            tracer.finish(span, "cancelled")
+            raise
         if len(result.outcomes) != len(branches):
+            tracer.finish(span, "failed")
             raise FtshRuntimeError(
                 f"driver returned {len(result.outcomes)} outcomes for "
                 f"{len(branches)} branches"
             )
         timeout: FtshTimeout | None = None
         failure: BaseException | None = None
-        for branch, outcome in zip(branches, result.outcomes):
+        for outcome, branch_span in zip(result.outcomes, branch_spans):
             if outcome is None:
+                tracer.finish(branch_span, "ok")
                 continue
             if isinstance(outcome, FtshTimeout):
                 # Escaped every try inside the branch, so it belongs to one
                 # of *our* enclosing scopes; keep the earliest.
+                tracer.finish(branch_span, "timeout")
                 if timeout is None or outcome.deadline < timeout.deadline:
                     timeout = outcome
-            elif isinstance(outcome, (FtshFailure, FtshCancelled)):
+            elif isinstance(outcome, FtshCancelled):
+                tracer.finish(branch_span, "cancelled")
+                failure = failure or outcome
+            elif isinstance(outcome, FtshFailure):
+                tracer.finish(branch_span, "failed")
                 failure = failure or outcome
             else:
+                tracer.finish(branch_span, "failed")
+                tracer.finish(span, "failed")
                 raise outcome  # driver bug or interpreter defect: surface it
         if timeout is not None:
+            tracer.finish(span, "timeout")
             raise timeout
         if failure is not None:
+            tracer.finish(span, "failed")
             raise FtshFailure(f"forall branch failed: {failure}")
+        tracer.finish(span, "ok")
 
     def _branch_body(self, body: ast.Group) -> EvalGen:
         """Evaluate a forall branch body (run as its own effect generator)."""

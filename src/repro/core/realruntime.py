@@ -36,6 +36,7 @@ from .effects import (
     SleepResult,
 )
 from .errors import FtshCancelled, FtshControl, FtshRuntimeError
+from ..obs.api import NULL_OBS
 from .timeline import UNBOUNDED
 
 #: Environment variable carrying the absolute (epoch) deadline to nested
@@ -57,6 +58,7 @@ class RealDriver:
         rng: Optional[_random.Random] = None,
         env: Optional[dict[str, str]] = None,
         max_parallel: Optional[int] = None,
+        obs: Any = None,
     ) -> None:
         #: Seconds between SIGTERM and SIGKILL on timeout/cancel.
         self.term_grace = term_grace
@@ -72,6 +74,20 @@ class RealDriver:
         self._rng = rng or _random.Random()
         self._env = env
         self._origin = time.monotonic()
+        #: Telemetry for the runtime layer itself (process lifecycles),
+        #: complementing the interpreter's semantic spans.
+        self.obs = obs if obs is not None else NULL_OBS
+        metrics = self.obs.metrics
+        self._m_spawned = metrics.counter(
+            "ftsh_real_processes_spawned_total", "POSIX processes started")
+        self._m_spawn_failures = metrics.counter(
+            "ftsh_real_spawn_failures_total",
+            "commands that could not be loaded and run")
+        self._m_kills = metrics.counter(
+            "ftsh_real_sessions_signalled_total",
+            "process sessions signalled at deadline/cancel", labels=("signal",))
+        self._m_threads = metrics.counter(
+            "ftsh_real_branch_threads_total", "forall branch threads started")
 
     # The interpreter's clock: seconds since driver creation (monotonic).
     def now(self) -> float:
@@ -186,7 +202,9 @@ class RealDriver:
                 # "The program could not be loaded and run" — case 4 of the
                 # paper's cp taxonomy; indistinguishable to the script, it
                 # is simply a failure.
+                self._m_spawn_failures.inc()
                 return CommandResult(exit_code=127, detail=f"spawn failed: {exc}")
+            self._m_spawned.inc()
 
             stdin_bytes = effect.stdin_data.encode() if effect.stdin_data is not None else None
             output, killed = self._wait(
@@ -263,6 +281,7 @@ class RealDriver:
             os.killpg(pgid, signal.SIGTERM)
         except ProcessLookupError:
             pass
+        self._m_kills.labels(signal="term").inc()
         try:
             process.wait(timeout=self.term_grace)
         except subprocess.TimeoutExpired:
@@ -270,6 +289,7 @@ class RealDriver:
                 os.killpg(pgid, signal.SIGKILL)
             except ProcessLookupError:
                 pass
+            self._m_kills.labels(signal="kill").inc()
             process.wait()
         # Drain pipes left open by a direct kill path.
         for stream in (process.stdout, process.stdin, process.stderr):
@@ -311,6 +331,7 @@ class RealDriver:
         ]
         for thread in threads:
             thread.start()
+            self._m_threads.inc()
         for thread in threads:
             thread.join()
         if errors:

@@ -30,6 +30,7 @@ from .ast_nodes import Script
 from .backoff import BackoffPolicy, PAPER_POLICY
 from .errors import FtshCancelled, FtshFailure, FtshTimeout
 from .interpreter import Interpreter
+from ..obs.api import NULL_OBS
 from .parser import parse
 from .realruntime import DEADLINE_ENV, RealDriver
 from .shell_log import ShellLog
@@ -65,6 +66,10 @@ class Ftsh:
             parent ftsh through ``FTSH_DEADLINE_EPOCH`` bounds every run —
             this is how nested shells shut down before their parents kill
             them (paper §4).
+        obs: an :class:`~repro.obs.Observability` collecting spans and
+            metrics across runs (default: disabled).  The shell installs
+            the driver's clock on it, so timestamps are seconds since the
+            driver started — the same timebase as the ShellLog.
     """
 
     def __init__(
@@ -74,6 +79,7 @@ class Ftsh:
         honor_deadline_env: bool = True,
         spool: Optional[SpoolPolicy] = None,
         log_level: Optional[int] = None,
+        obs: Any = None,
     ) -> None:
         self.driver = driver if driver is not None else RealDriver()
         self.policy = policy
@@ -82,6 +88,9 @@ class Ftsh:
         self.spool = spool
         #: ShellLog verbosity (LOG_RESULTS / LOG_COMMANDS / LOG_TRACE).
         self.log_level = log_level
+        #: Telemetry context shared by every run of this shell.
+        self.obs = obs if obs is not None else NULL_OBS
+        self.obs.set_clock(self.driver.now)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -109,7 +118,8 @@ class Ftsh:
             log = ShellLog(clock=self.driver.now)
         else:
             log = ShellLog(clock=self.driver.now, level=self.log_level)
-        interpreter = Interpreter(scope=scope, policy=self.policy, log=log)
+        interpreter = Interpreter(scope=scope, policy=self.policy, log=log,
+                                  obs=self.obs)
 
         start = self.driver.now()
         deadline = UNBOUNDED if timeout is None else start + timeout

@@ -17,6 +17,10 @@ import sys
 import time
 from dataclasses import dataclass
 
+from ..clients.base import ALL_DISCIPLINES
+from ..obs.api import Observability
+from ..obs.exporters import write_obs_bundle
+from ..obs.report import render_report
 from .figure1 import render as render1, run_figure1
 from .figure2 import render as render_timeline, run_figure2
 from .figure3 import run_figure3
@@ -24,6 +28,7 @@ from .figure4 import render_figure4, render_figure5, run_buffer_sweep
 from .figure6 import render as render_reader, run_figure6
 from .figure7 import run_figure7
 from .report import series_csv, sweep_csv
+from .scenario_submit import SubmitParams, run_submission
 
 
 @dataclass(frozen=True)
@@ -72,6 +77,44 @@ SCALES = {
 }
 
 
+def write_observability(
+    obs_dir: str,
+    n_clients: int,
+    duration: float,
+    seed: int = 2003,
+) -> list[str]:
+    """Fully-instrumented exemplar runs, one per discipline.
+
+    Each discipline gets a Figure-1-style submission run with a live
+    :class:`~repro.obs.Observability` attached (const-labeled with the
+    discipline and scenario), exported as a Chrome trace, a spans JSONL,
+    a Prometheus text file, and a telemetry report.  Returns the paths
+    written.
+    """
+    paths: list[str] = []
+    os.makedirs(obs_dir, exist_ok=True)
+    for discipline in ALL_DISCIPLINES:
+        obs = Observability(
+            const_labels=discipline.labels(scenario="submit"))
+        params = SubmitParams(
+            discipline=discipline,
+            n_clients=n_clients,
+            duration=duration,
+            seed=seed,
+            obs=obs,
+        )
+        run_submission(params)
+        stem = f"submit_{discipline.name}"
+        paths.extend(write_obs_bundle(obs, obs_dir, stem))
+        report_path = os.path.join(obs_dir, f"{stem}.report.txt")
+        with open(report_path, "w", encoding="utf-8") as handle:
+            handle.write(
+                render_report(tracer=obs.tracer, registry=obs.metrics) + "\n"
+            )
+        paths.append(report_path)
+    return paths
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", choices=sorted(SCALES), default="medium")
@@ -80,6 +123,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--csv", action="store_true",
         help="also write machine-readable .csv files per figure",
+    )
+    parser.add_argument(
+        "--obs-dir", default=None, metavar="DIR",
+        help="also run one instrumented submission per discipline and "
+             "write Chrome traces, span logs and Prometheus text there",
     )
     args = parser.parse_args(argv)
 
@@ -189,6 +237,17 @@ def main(argv=None) -> int:
         f"fig7 ethernet: transfers={fig7.run.transfers} "
         f"collisions={fig7.run.collisions} deferrals={fig7.run.deferrals}"
     )
+
+    if args.obs_dir:
+        print("Telemetry: instrumented submission runs ...")
+        for path in write_observability(
+            args.obs_dir,
+            n_clients=scale.fig1_counts[-1],
+            duration=scale.fig1_duration,
+            seed=args.seed,
+        ):
+            print(f"  wrote {path}")
+        summary.append(f"telemetry: {args.obs_dir}")
 
     elapsed = time.time() - started
     summary.append(f"wall time: {elapsed:.1f}s")

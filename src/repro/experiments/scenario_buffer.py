@@ -10,11 +10,15 @@ drained in the window; collisions are ENOSPC-deleted partial writes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..clients.base import Discipline
 from ..clients.scripts import producer_script, producer_script_reserved
 from ..core.shell_log import ShellLog
 from ..grid.storage import BufferConfig, BufferWorld, register_buffer_commands
+from ..obs.api import NULL_OBS
+from ..obs.clock import engine_clock
+from ..obs.metrics import sample_gauges
 from ..sim.engine import Engine
 from ..sim.monitor import TimeSeries, sample
 from ..sim.rng import RandomStreams
@@ -38,6 +42,8 @@ class BufferParams:
     #: of the paper's §5 allocation discussion).  The discipline's policy
     #: still governs retry pacing when the reservation is denied.
     reserved: bool = False
+    #: Optional :class:`repro.obs.Observability` (see SubmitParams.obs).
+    obs: Any = None
 
 
 @dataclass(slots=True)
@@ -82,10 +88,15 @@ def _producer_loop(
 def run_buffer(params: BufferParams) -> BufferResult:
     """Run the scenario and collect Figure-4/5 measurements."""
     engine = Engine()
-    world = BufferWorld(engine, params.buffer)
+    obs = params.obs if params.obs is not None else NULL_OBS
+    obs.set_clock(engine_clock(engine))
+    world = BufferWorld(engine, params.buffer, obs=obs)
     registry = CommandRegistry()
     register_buffer_commands(registry, world)
     streams = RandomStreams(params.seed)
+    if obs.enabled:
+        sample_gauges(obs.metrics, engine, params.sample_interval,
+                      until=params.duration)
 
     free_series = TimeSeries("free-mb")
     sample(
@@ -108,6 +119,7 @@ def run_buffer(params: BufferParams) -> BufferResult:
             policy=params.discipline.policy,
             name=name,
             log=shared_log,
+            obs=obs,
         )
         stagger = streams.stream(f"stagger-{index}").uniform(0.0, 1.0)
         engine.process(

@@ -9,10 +9,14 @@ cumulative event series the world's counters record.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
+
 from ..clients.base import Discipline
 from ..clients.scripts import reader_script
 from ..core.shell_log import ShellLog
 from ..grid.httpserver import ReplicaConfig, ReplicaWorld, register_replica_commands
+from ..obs.api import NULL_OBS
+from ..obs.clock import engine_clock
 from ..sim.engine import Engine
 from ..sim.monitor import TimeSeries
 from ..sim.rng import RandomStreams
@@ -34,6 +38,8 @@ class ReplicaParams:
     replica: ReplicaConfig = field(default_factory=ReplicaConfig)
     seed: int = 2003
     log_cap: int = 50_000
+    #: Optional :class:`repro.obs.Observability` (see SubmitParams.obs).
+    obs: Any = None
 
 
 @dataclass(slots=True)
@@ -78,11 +84,14 @@ def _reader_loop(
 def run_replica(params: ReplicaParams) -> ReplicaResult:
     """Run the scenario and collect Figure-6/7 measurements."""
     engine = Engine()
+    obs = params.obs if params.obs is not None else NULL_OBS
+    obs.set_clock(engine_clock(engine))
     world = ReplicaWorld(
         engine,
         params.replica,
         hosts=params.hosts,
         black_holes=params.black_holes,
+        obs=obs,
     )
     registry = CommandRegistry()
     register_replica_commands(registry, world)
@@ -99,6 +108,7 @@ def run_replica(params: ReplicaParams) -> ReplicaResult:
             policy=params.discipline.policy,
             name=name,
             log=shared_log,
+            obs=obs,
         )
         stagger = streams.stream(f"stagger-{index}").uniform(0.0, 1.0)
         engine.process(

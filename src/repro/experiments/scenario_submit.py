@@ -11,11 +11,16 @@ line is drawn.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
+
 from ..clients.base import Discipline
 from ..clients.scripts import submit_script
 from ..core.parser import parse
 from ..core.shell_log import ShellLog
 from ..grid.condor import CondorConfig, CondorWorld, register_condor_commands
+from ..obs.api import NULL_OBS
+from ..obs.clock import engine_clock
+from ..obs.metrics import sample_gauges
 from ..sim.engine import Engine
 from ..sim.monitor import TimeSeries, sample
 from ..sim.rng import RandomStreams
@@ -36,6 +41,10 @@ class SubmitParams:
     seed: int = 2003
     sample_interval: float = 5.0
     log_cap: int = 50_000
+    #: Optional :class:`repro.obs.Observability`: the run installs the
+    #: engine clock on it, mirrors substrate counters into its registry,
+    #: and samples the live gauges every ``sample_interval`` seconds.
+    obs: Any = None
 
 
 @dataclass(slots=True)
@@ -71,10 +80,15 @@ def _client_loop(
 def run_submission(params: SubmitParams) -> SubmitResult:
     """Run the scenario and collect Figure-1/2/3 measurements."""
     engine = Engine()
-    world = CondorWorld(engine, params.condor)
+    obs = params.obs if params.obs is not None else NULL_OBS
+    obs.set_clock(engine_clock(engine))
+    world = CondorWorld(engine, params.condor, obs=obs)
     registry = CommandRegistry()
     register_condor_commands(registry, world)
     streams = RandomStreams(params.seed)
+    if obs.enabled:
+        sample_gauges(obs.metrics, engine, params.sample_interval,
+                      until=params.duration)
 
     script = parse(
         submit_script(
@@ -104,6 +118,7 @@ def run_submission(params: SubmitParams) -> SubmitResult:
             policy=params.discipline.policy,
             name=name,
             log=shared_log,
+            obs=obs,
         )
         stagger = streams.stream(f"stagger-{index}").uniform(0.0, 1.0)
         engine.process(

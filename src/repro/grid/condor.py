@@ -32,8 +32,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
+from ..obs.api import NULL_OBS
 from ..sim.engine import Engine
 from ..sim.events import Interrupt
 from ..sim.monitor import Counter
@@ -82,7 +83,13 @@ class Connection:
 class Schedd:
     """The submission agent: persistent queue manager for a grid user."""
 
-    def __init__(self, engine: Engine, fdtable: FDTable, config: CondorConfig) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        fdtable: FDTable,
+        config: CondorConfig,
+        obs: Any = None,
+    ) -> None:
         self.engine = engine
         self.fdtable = fdtable
         self.config = config
@@ -94,6 +101,28 @@ class Schedd:
         self.crashes = Counter(engine, "schedd-crashes")
         self.refused = Counter(engine, "connections-refused", keep_series=False)
         self.emfile = Counter(engine, "emfile-failures", keep_series=False)
+        #: Telemetry mirror of the Counter objects above, plus live gauges
+        #: (the obs registry carries labels and exports; the Counters stay
+        #: for existing figure code).
+        self.obs = obs if obs is not None else NULL_OBS
+        metrics = self.obs.metrics
+        self._m_jobs = metrics.counter(
+            "grid_jobs_submitted_total", "jobs committed by the schedd")
+        self._m_crashes = metrics.counter(
+            "grid_schedd_crashes_total", "schedd crashes from FD starvation")
+        self._m_refused = metrics.counter(
+            "grid_connections_refused_total", "submissions refused while down")
+        self._m_emfile = metrics.counter(
+            "grid_emfile_failures_total", "connections denied by a full FD table")
+        metrics.gauge(
+            "grid_fds_free", "free descriptors in the kernel table"
+        ).set_function(lambda: float(self.fdtable.free))
+        metrics.gauge(
+            "grid_connections_open", "open submission connections"
+        ).set_function(lambda: float(len(self.connections)))
+        metrics.gauge(
+            "grid_schedd_up", "1 while the schedd is serving, 0 while down"
+        ).set_function(lambda: 1.0 if self.up else 0.0)
         engine.process(self._maintenance(), name="schedd-maintenance")
 
     def _maintenance(self):
@@ -119,6 +148,7 @@ class Schedd:
         """
         if not self.fdtable.allocate(self.config.fds_per_connection):
             self.emfile.increment()
+            self._m_emfile.inc()
             return None
         connection = Connection(next(self._conn_ids), process, self.config.fds_per_connection)
         self.connections[connection.id] = connection
@@ -148,6 +178,7 @@ class Schedd:
         """
         self.up = False
         self.crashes.increment()
+        self._m_crashes.inc()
         victims = [
             connection
             for connection in list(self.connections.values())
@@ -171,11 +202,17 @@ class Schedd:
 class CondorWorld:
     """Everything scenario 1 shares: engine, FD table, schedd."""
 
-    def __init__(self, engine: Engine, config: CondorConfig | None = None) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        config: CondorConfig | None = None,
+        obs: Any = None,
+    ) -> None:
         self.engine = engine
         self.config = config or CondorConfig()
+        self.obs = obs if obs is not None else NULL_OBS
         self.fdtable = FDTable(engine, self.config.fd_capacity)
-        self.schedd = Schedd(engine, self.fdtable, self.config)
+        self.schedd = Schedd(engine, self.fdtable, self.config, obs=self.obs)
 
 
 def register_condor_commands(registry: CommandRegistry, world: CondorWorld) -> None:
@@ -190,6 +227,7 @@ def register_condor_commands(registry: CommandRegistry, world: CondorWorld) -> N
         """Submit one job: connect, queue for the schedd, transfer, commit."""
         if not schedd.up:
             schedd.refused.increment()
+            schedd._m_refused.inc()
             yield engine.timeout(config.refusal_latency)
             return 1
 
@@ -214,6 +252,7 @@ def register_condor_commands(registry: CommandRegistry, world: CondorWorld) -> N
             commit_held = config.commit_fds
             yield engine.timeout(schedd.service_time())
             schedd.jobs_submitted.increment()
+            schedd._m_jobs.inc()
             return 0
         except Interrupt:
             # Schedd crash, client deadline kill, or scenario teardown.

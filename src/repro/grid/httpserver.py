@@ -22,8 +22,9 @@ probe is a deferral, a finished data transfer is a transfer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
+from ..obs.api import NULL_OBS
 from ..sim.engine import Engine
 from ..sim.events import Interrupt
 from ..sim.monitor import Counter
@@ -75,6 +76,7 @@ class ReplicaWorld:
         config: ReplicaConfig | None = None,
         hosts: tuple[str, ...] = ("xxx", "yyy", "zzz"),
         black_holes: tuple[str, ...] = ("zzz",),
+        obs: Any = None,
     ) -> None:
         self.engine = engine
         self.config = config or ReplicaConfig()
@@ -88,6 +90,16 @@ class ReplicaWorld:
         self.collisions = Counter(engine, "collisions")
         #: Probe fetches that failed/stalled ("Deferrals").
         self.deferrals = Counter(engine, "deferrals")
+        #: Telemetry mirror with a per-server stream.
+        self.obs = obs if obs is not None else NULL_OBS
+        metrics = self.obs.metrics
+        self._m_transfers = metrics.counter(
+            "grid_replica_transfers_total", "completed data transfers",
+            labels=("server",))
+        self._m_collisions = metrics.counter(
+            "grid_replica_collisions_total", "data fetches aborted by timeout")
+        self._m_deferrals = metrics.counter(
+            "grid_replica_deferrals_total", "probe fetches that failed/stalled")
 
     def parse_url(self, url: str) -> Optional[tuple[FileServer, str]]:
         """``http://host/path`` -> (server, path); None if unknown."""
@@ -132,14 +144,17 @@ def register_replica_commands(registry: CommandRegistry, world: ReplicaWorld) ->
             if is_probe:
                 return 0
             world.transfers.increment()
+            world._m_transfers.labels(server=server.name).inc()
             return 0
         except Interrupt:
             # The client's try-limit expired while we were queued, stalled
             # on the black hole, or mid-transfer.
             if is_probe:
                 world.deferrals.increment()
+                world._m_deferrals.inc()
             else:
                 world.collisions.increment()
+                world._m_collisions.inc()
             return 1
         finally:
             server.slot.release(request)

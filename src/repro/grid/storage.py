@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 from ..core.errors import SimulationError
+from ..obs.api import NULL_OBS
 from ..sim.engine import Engine
 from ..sim.events import Interrupt
 from ..sim.monitor import Counter, TimeSeries
@@ -90,7 +91,12 @@ class DiskIO:
 class SharedBuffer:
     """The 120 MB spool directory, with atomic-rename completion."""
 
-    def __init__(self, engine: Engine, config: BufferConfig | None = None) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        config: BufferConfig | None = None,
+        obs: Any = None,
+    ) -> None:
         self.engine = engine
         self.config = config or BufferConfig()
         self.disk = DiskIO(engine, self.config.disk_rate_mb_s)
@@ -110,6 +116,23 @@ class SharedBuffer:
                                          keep_series=False)
         self.reservations_denied = Counter(engine, "reservations-denied",
                                            keep_series=False)
+        #: Telemetry mirror (collision/consumption counters, live gauges).
+        self.obs = obs if obs is not None else NULL_OBS
+        metrics = self.obs.metrics
+        self._m_collisions = metrics.counter(
+            "grid_buffer_collisions_total", "partial files deleted on ENOSPC")
+        self._m_consumed = metrics.counter(
+            "grid_buffer_files_consumed_total", "files drained by the consumer")
+        self._m_reservations = metrics.counter(
+            "grid_buffer_reservations_total", "space reservations granted")
+        self._m_denied = metrics.counter(
+            "grid_buffer_reservations_denied_total", "space reservations denied")
+        metrics.gauge(
+            "grid_buffer_free_mb", "raw free space in the shared buffer"
+        ).set_function(lambda: self.free_mb)
+        metrics.gauge(
+            "grid_buffer_files", "files (complete + partial) in the buffer"
+        ).set_function(lambda: float(len(self.files)))
 
     # -- filesystem-visible state ---------------------------------------
     @property
@@ -178,6 +201,7 @@ class SharedBuffer:
         self._used = max(self._used - entry.size_mb, 0.0)
         if collided:
             self.collisions.increment()
+            self._m_collisions.inc()
             self.mb_wasted += entry.size_mb
         if entry.complete and entry.name in self._done_order:
             self._done_order.remove(entry.name)
@@ -194,10 +218,12 @@ class SharedBuffer:
             raise SimulationError(f"negative reservation: {mb}")
         if self._used + mb > self.config.capacity_mb:
             self.reservations_denied.increment()
+            self._m_denied.inc()
             return False
         self._used += mb
         self.reservations[client] = self.reservations.get(client, 0.0) + mb
         self.reservations_made.increment()
+        self._m_reservations.inc()
         self._note()
         return True
 
@@ -263,15 +289,22 @@ def consumer_process(buffer: SharedBuffer):
         buffer.mb_consumed += entry.size_mb
         buffer.delete(entry)
         buffer.files_consumed.increment()
+        buffer._m_consumed.inc()
 
 
 class BufferWorld:
     """Scenario 2's shared state, plus per-client pending file sizes."""
 
-    def __init__(self, engine: Engine, config: BufferConfig | None = None) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        config: BufferConfig | None = None,
+        obs: Any = None,
+    ) -> None:
         self.engine = engine
         self.config = config or BufferConfig()
-        self.buffer = SharedBuffer(engine, self.config)
+        self.obs = obs if obs is not None else NULL_OBS
+        self.buffer = SharedBuffer(engine, self.config, obs=self.obs)
         #: The allocation server: one reservation RPC at a time — "the
         #: actual process of allocation itself may be subject to
         #: contention" (paper §5).

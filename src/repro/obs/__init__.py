@@ -1,0 +1,99 @@
+"""repro.obs — the unified telemetry subsystem.
+
+One instrumentation layer shared by both runtimes: the same spans and
+metrics are produced whether a script runs against POSIX
+(:class:`~repro.core.realruntime.RealDriver`) or in virtual time
+(:class:`~repro.simruntime.driver.SimDriver`).  The trick is the same
+one the interpreter itself uses: time never comes from ``time.time()``
+directly but from a pluggable clock callable (see :mod:`repro.obs.clock`),
+which drivers install exactly as they already do for
+:class:`~repro.core.shell_log.ShellLog`.
+
+Pieces:
+
+* :class:`Tracer` / :class:`Span` — hierarchical spans
+  (script -> try -> attempt -> command / backoff).
+* :class:`MetricsRegistry` — named counters, gauges and histograms with
+  label streams, backed by :mod:`repro.sim.monitor` time series.
+* :mod:`repro.obs.exporters` — JSONL span log, Chrome ``trace_event``
+  JSON (load in chrome://tracing / Perfetto), Prometheus-style text.
+* :mod:`repro.obs.report` — post-run summarizer extending
+  :mod:`repro.core.analysis`.
+* :class:`Observability` — the bundle everything accepts; pass
+  :data:`NULL_OBS` (the default everywhere) for zero-cost no-ops.
+"""
+
+from .api import NULL_OBS, NullObservability, Observability
+from .clock import Clock, engine_clock, wall_clock
+from .exporters import (
+    chrome_trace_events,
+    chrome_trace_json,
+    prometheus_text,
+    read_spans_jsonl,
+    spans_jsonl,
+    write_chrome_trace,
+    write_obs_bundle,
+    write_prometheus,
+    write_spans_jsonl,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NULL_METRICS,
+    sample_gauges,
+)
+from .spans import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    STATUS_CANCELLED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_OPEN,
+    STATUS_TIMEOUT,
+    Tracer,
+)
+
+
+def __getattr__(name: str):
+    # Deferred so `python -m repro.obs.report` doesn't import the report
+    # module twice (once via this package, once as __main__).
+    if name in ("render_report", "span_stats", "digest"):
+        from . import report
+
+        return getattr(report, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Clock",
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_OBS",
+    "NULL_TRACER",
+    "NullObservability",
+    "NullTracer",
+    "Observability",
+    "Span",
+    "STATUS_CANCELLED",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_OPEN",
+    "STATUS_TIMEOUT",
+    "Tracer",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "engine_clock",
+    "prometheus_text",
+    "read_spans_jsonl",
+    "render_report",
+    "sample_gauges",
+    "span_stats",
+    "spans_jsonl",
+    "wall_clock",
+    "write_chrome_trace",
+    "write_obs_bundle",
+    "write_prometheus",
+    "write_spans_jsonl",
+]

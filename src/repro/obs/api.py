@@ -1,0 +1,75 @@
+"""The bundle every instrumented layer accepts: tracer + metrics + clock.
+
+``Observability`` is deliberately tiny — it exists so call sites take
+one optional argument instead of three, and so the disabled default
+(:data:`NULL_OBS`) can be passed around freely without ``if obs:``
+checks at every instrumentation point.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Optional
+
+from .clock import Clock, engine_clock, wall_clock
+from .metrics import MetricsRegistry, NULL_METRICS, NullMetrics
+from .spans import NULL_TRACER, NullTracer, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Engine
+
+
+class Observability:
+    """One run's telemetry context: a tracer and a metrics registry.
+
+    Both share the clock installed by :meth:`set_clock` (drivers and
+    shells install theirs exactly as they do for ``ShellLog``).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        const_labels: Optional[Mapping[str, str]] = None,
+        keep_series: bool = True,
+        max_spans: int = 250_000,
+    ) -> None:
+        self.tracer = Tracer(clock=clock, max_spans=max_spans)
+        self.metrics = MetricsRegistry(clock=clock, const_labels=const_labels,
+                                       keep_series=keep_series)
+
+    def set_clock(self, clock: Clock) -> None:
+        self.tracer.set_clock(clock)
+        self.metrics.set_clock(clock)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def wall(cls, **kwargs) -> "Observability":
+        """An Observability stamped with monotonic wall-clock seconds."""
+        return cls(clock=wall_clock(), **kwargs)
+
+    @classmethod
+    def for_engine(cls, engine: "Engine", **kwargs) -> "Observability":
+        """An Observability stamped with a simulation's virtual clock."""
+        return cls(clock=engine_clock(engine), **kwargs)
+
+
+class NullObservability:
+    """The disabled context: every operation is a near-free no-op."""
+
+    enabled = False
+    tracer: NullTracer = NULL_TRACER
+    metrics: NullMetrics = NULL_METRICS
+
+    __slots__ = ()
+
+    def set_clock(self, clock: Clock) -> None:
+        pass
+
+
+NULL_OBS = NullObservability()
+
+
+def coalesce(obs: Optional[Observability]) -> "Observability | NullObservability":
+    """``obs`` if given, else the shared null context."""
+    return obs if obs is not None else NULL_OBS

@@ -1,0 +1,201 @@
+"""Exporters: JSONL spans, Chrome ``trace_event`` JSON, Prometheus text.
+
+Three write-only views of one run's telemetry:
+
+* :func:`spans_jsonl` — one JSON object per line, one line per span;
+  the archival format :mod:`repro.obs.report` can read back.
+* :func:`chrome_trace_json` — the Trace Event Format understood by
+  chrome://tracing and https://ui.perfetto.dev: complete ("X") events
+  with microsecond timestamps, one track (tid) per root span, so a
+  500-client run shows each script's try/attempt/backoff/command
+  nesting as a flame graph.
+* :func:`prometheus_text` — the text exposition format, suitable for
+  ``promtool check metrics``-style tooling or a textfile collector.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Iterable, Union
+
+from .metrics import COUNTER, GAUGE, HISTOGRAM, MetricsRegistry
+from .spans import Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .api import Observability
+
+TracerLike = Union[Tracer, Iterable[Span]]
+
+
+def _spans_of(tracer: TracerLike) -> list[Span]:
+    return list(tracer.spans) if isinstance(tracer, Tracer) else list(tracer)
+
+
+# ---------------------------------------------------------------------------
+# JSONL span log
+# ---------------------------------------------------------------------------
+
+def spans_jsonl(tracer: TracerLike) -> str:
+    """One JSON object per line, in start order."""
+    return "\n".join(json.dumps(span.to_dict(), sort_keys=True)
+                     for span in _spans_of(tracer))
+
+
+def write_spans_jsonl(tracer: TracerLike, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        text = spans_jsonl(tracer)
+        handle.write(text + ("\n" if text else ""))
+
+
+def read_spans_jsonl(path: str) -> list[Span]:
+    """Load a span log written by :func:`write_spans_jsonl`."""
+    spans: list[Span] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event JSON
+# ---------------------------------------------------------------------------
+
+def chrome_trace_events(tracer: TracerLike, pid: int = 1) -> list[dict[str, Any]]:
+    """Trace Event Format rows (the JSON-array flavour).
+
+    Each finished span becomes a complete ("X") event; still-open spans
+    become instant ("i") marks.  Timestamps are microseconds on the
+    run's clock.  Every root span gets its own thread id so concurrent
+    scripts/branches land on separate tracks.
+    """
+    spans = _spans_of(tracer)
+    known = {span.span_id: span for span in spans}
+
+    def track_of(span: Span) -> int:
+        seen = set()
+        current = span
+        while (current.parent_id in known) and (current.span_id not in seen):
+            seen.add(current.span_id)
+            current = known[current.parent_id]
+        return current.span_id
+
+    events: list[dict[str, Any]] = []
+    for span in spans:
+        args = dict(span.attrs)
+        args["status"] = span.status
+        row: dict[str, Any] = {
+            "name": span.name,
+            "cat": span.kind,
+            "pid": pid,
+            "tid": track_of(span),
+            "ts": round(span.start * 1e6, 3),
+            "args": args,
+        }
+        if span.finished:
+            row["ph"] = "X"
+            row["dur"] = round(span.duration * 1e6, 3)
+        else:
+            row["ph"] = "i"
+            row["s"] = "t"
+        events.append(row)
+    return events
+
+
+def chrome_trace_json(tracer: TracerLike, pid: int = 1) -> str:
+    return json.dumps(chrome_trace_events(tracer, pid=pid), indent=None)
+
+
+def write_chrome_trace(tracer: TracerLike, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(chrome_trace_json(tracer) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _label_text(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{name}="{_escape_label(str(value))}"'
+                     for name, value in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    const = registry.const_labels
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for child in family.children():
+            labels = dict(const)
+            labels.update(child.labels_dict())
+            if family.kind == COUNTER:
+                lines.append(
+                    f"{family.name}{_label_text(labels)} {_format_value(child.value)}"
+                )
+            elif family.kind == GAUGE:
+                lines.append(
+                    f"{family.name}{_label_text(labels)} "
+                    f"{_format_value(child.sample())}"
+                )
+            elif family.kind == HISTOGRAM:
+                for bound, cumulative in child.cumulative():
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_value(bound)
+                    lines.append(
+                        f"{family.name}_bucket{_label_text(bucket_labels)} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_label_text(labels)} "
+                    f"{_format_value(child.total)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_label_text(labels)} {child.count}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: MetricsRegistry, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(prometheus_text(registry))
+
+
+# ---------------------------------------------------------------------------
+# Bundles
+# ---------------------------------------------------------------------------
+
+def write_obs_bundle(obs: "Observability", directory: str, stem: str) -> list[str]:
+    """Write every export for one run: trace JSON, spans JSONL, metrics.
+
+    Returns the paths written, for logging.  Used by
+    ``runall --obs-dir`` and handy from notebooks/scripts.
+    """
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    trace_path = os.path.join(directory, f"{stem}.trace.json")
+    spans_path = os.path.join(directory, f"{stem}.spans.jsonl")
+    prom_path = os.path.join(directory, f"{stem}.prom")
+    write_chrome_trace(obs.tracer, trace_path)
+    write_spans_jsonl(obs.tracer, spans_path)
+    write_prometheus(obs.metrics, prom_path)
+    return [trace_path, spans_path, prom_path]

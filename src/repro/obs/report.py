@@ -1,0 +1,197 @@
+"""Post-run telemetry summarizer — the obs-side extension of
+:mod:`repro.core.analysis`.
+
+:func:`render_report` digests a run's spans (live from a
+:class:`~repro.obs.spans.Tracer` or reloaded from a JSONL file) plus,
+optionally, its metrics registry and a classic
+:class:`~repro.core.analysis.LogAnalysis`, into one administrator-facing
+text block: per-kind span counts and durations, the slowest commands,
+attempt depth, and the paper's overload signal (backoff initiations).
+
+Also runnable on archived span logs::
+
+    python -m repro.obs.report run/figure1_ethernet.spans.jsonl
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional, Union
+
+from .exporters import read_spans_jsonl
+from .metrics import COUNTER, GAUGE, HISTOGRAM, MetricsRegistry
+from .spans import Span, STATUS_FAILED, STATUS_OK, STATUS_TIMEOUT, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.analysis import LogAnalysis
+
+TracerLike = Union[Tracer, Iterable[Span]]
+
+
+@dataclass(slots=True)
+class KindStats:
+    """Aggregate over all spans of one kind."""
+
+    kind: str
+    count: int = 0
+    ok: int = 0
+    failed: int = 0
+    timeout: int = 0
+    total_duration: float = 0.0
+    max_duration: float = 0.0
+
+    @property
+    def mean_duration(self) -> float:
+        return self.total_duration / self.count if self.count else 0.0
+
+
+def span_stats(tracer: TracerLike) -> dict[str, KindStats]:
+    """Per-kind aggregates, keyed by span kind."""
+    stats: dict[str, KindStats] = {}
+    spans = tracer.spans if isinstance(tracer, Tracer) else tracer
+    for span in spans:
+        entry = stats.get(span.kind)
+        if entry is None:
+            entry = stats[span.kind] = KindStats(span.kind)
+        entry.count += 1
+        if span.status == STATUS_OK:
+            entry.ok += 1
+        elif span.status == STATUS_FAILED:
+            entry.failed += 1
+        elif span.status == STATUS_TIMEOUT:
+            entry.timeout += 1
+        duration = span.duration
+        entry.total_duration += duration
+        entry.max_duration = max(entry.max_duration, duration)
+    return stats
+
+
+@dataclass(slots=True)
+class TraceDigest:
+    """Everything :func:`render_report` derives from the span tree."""
+
+    kinds: dict[str, KindStats] = field(default_factory=dict)
+    slowest_commands: list[Span] = field(default_factory=list)
+    deepest_tries: list[tuple[Span, int]] = field(default_factory=list)
+    backoff_initiations: int = 0
+    backoff_total_wait: float = 0.0
+
+
+def digest(tracer: TracerLike, limit: int = 5) -> TraceDigest:
+    spans = list(tracer.spans) if isinstance(tracer, Tracer) else list(tracer)
+    out = TraceDigest(kinds=span_stats(spans))
+
+    commands = [s for s in spans if s.kind == "command" and s.finished]
+    out.slowest_commands = sorted(commands, key=lambda s: -s.duration)[:limit]
+
+    children_of: dict[Optional[int], int] = {}
+    for span in spans:
+        if span.kind == "attempt":
+            children_of[span.parent_id] = children_of.get(span.parent_id, 0) + 1
+    tries = {s.span_id: s for s in spans if s.kind == "try"}
+    ranked = sorted(
+        ((tries[pid], n) for pid, n in children_of.items() if pid in tries),
+        key=lambda item: -item[1],
+    )
+    out.deepest_tries = ranked[:limit]
+
+    backoffs = out.kinds.get("backoff")
+    if backoffs is not None:
+        out.backoff_initiations = backoffs.count
+        out.backoff_total_wait = backoffs.total_duration
+    return out
+
+
+def _metric_lines(registry: MetricsRegistry) -> list[str]:
+    lines: list[str] = []
+    for family in registry.families():
+        for child in family.children():
+            label = ",".join(f"{k}={v}" for k, v in sorted(child.labels_dict().items()))
+            suffix = f"{{{label}}}" if label else ""
+            if family.kind == COUNTER:
+                lines.append(f"    {family.name}{suffix} = {child.value:g}")
+            elif family.kind == GAUGE:
+                lines.append(f"    {family.name}{suffix} = {child.value:g}")
+            elif family.kind == HISTOGRAM:
+                lines.append(
+                    f"    {family.name}{suffix} count={child.count} "
+                    f"mean={child.mean():.3f}s max_bucket_sum={child.total:.3f}s"
+                )
+    return lines
+
+
+def render_report(
+    tracer: Optional[TracerLike] = None,
+    registry: Optional[MetricsRegistry] = None,
+    analysis: Optional["LogAnalysis"] = None,
+) -> str:
+    """One text block: span tree stats + metrics + classic log analysis."""
+    lines = ["ftsh telemetry report"]
+
+    if tracer is not None:
+        trace = digest(tracer)
+        lines.append("  spans (kind count ok fail timeout mean-s max-s):")
+        for kind in sorted(trace.kinds):
+            stats = trace.kinds[kind]
+            lines.append(
+                f"    {kind:<10} {stats.count:>7} {stats.ok:>7} {stats.failed:>6} "
+                f"{stats.timeout:>7} {stats.mean_duration:>8.3f} "
+                f"{stats.max_duration:>8.3f}"
+            )
+        overload = " ** OVERLOAD SIGNAL **" if trace.backoff_initiations else ""
+        lines.append(
+            f"  backoff: initiations={trace.backoff_initiations} "
+            f"total_wait={trace.backoff_total_wait:.3f}s{overload}"
+        )
+        if trace.slowest_commands:
+            lines.append("  slowest commands:")
+            for span in trace.slowest_commands:
+                lines.append(
+                    f"    {span.duration:>9.3f}s {span.name} [{span.status}]"
+                )
+        if trace.deepest_tries:
+            lines.append("  deepest tries (attempts):")
+            for span, attempts in trace.deepest_tries:
+                lines.append(
+                    f"    {attempts:>4} attempts: {span.name} "
+                    f"(line {span.attrs.get('line', '?')}) [{span.status}]"
+                )
+
+    if registry is not None:
+        metric_lines = _metric_lines(registry)
+        if metric_lines:
+            lines.append("  metrics:")
+            lines.extend(metric_lines)
+
+    if analysis is not None:
+        lines.append("")
+        lines.append(analysis.report())
+
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Summarize an archived span log: ``python -m repro.obs.report FILE``."""
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.report",
+        description="Summarize a .spans.jsonl telemetry file.",
+    )
+    parser.add_argument("spans", help="path to a spans JSONL file")
+    args = parser.parse_args(argv)
+    try:
+        spans = read_spans_jsonl(args.spans)
+    except OSError as exc:
+        print(f"repro.obs.report: cannot read {args.spans}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(render_report(tracer=spans))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -102,15 +102,20 @@ def sample(
 ) -> "Process":
     """Run ``probe`` every ``interval`` seconds and record into ``series``.
 
-    Records one sample immediately at start.  Stops at ``until`` (if
-    given) or runs until the engine's horizon drains the queue.
+    Records one sample immediately at start.  With ``until`` given, the
+    final sample lands *exactly at* ``until`` (the last wait is clipped
+    when ``until`` is not a multiple of ``interval``) and the sampler
+    never schedules a wake-up past it.
     """
     if interval <= 0:
         raise ValueError(f"sample interval must be > 0, got {interval}")
 
     def _sampler() -> Any:
-        while until is None or engine.now <= until:
+        while True:
             series.record(engine.now, probe())
-            yield engine.timeout(interval)
+            if until is not None and engine.now >= until:
+                return
+            delay = interval if until is None else min(interval, until - engine.now)
+            yield engine.timeout(delay)
 
     return engine.process(_sampler(), name=f"sampler:{series.name}")

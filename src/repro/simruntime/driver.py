@@ -34,6 +34,7 @@ from ..core.effects import (
 )
 from ..core.errors import FtshCancelled, FtshControl, FtshRuntimeError
 from ..core.timeline import UNBOUNDED
+from ..obs.api import NULL_OBS
 from ..sim.engine import Engine
 from ..sim.events import Interrupt
 from ..sim.process import Process
@@ -51,6 +52,7 @@ class SimDriver:
         rng: Optional[random.Random] = None,
         client: str = "",
         max_parallel: Optional[int] = None,
+        obs: Any = None,
     ) -> None:
         self.engine = engine
         self.registry = registry
@@ -62,6 +64,16 @@ class SimDriver:
         self.max_parallel = max_parallel
         if max_parallel is not None and max_parallel < 1:
             raise FtshRuntimeError(f"max_parallel must be >= 1, got {max_parallel}")
+        #: Telemetry for the simulated runtime layer, mirroring
+        #: RealDriver's process-lifecycle counters.
+        self.obs = obs if obs is not None else NULL_OBS
+        metrics = self.obs.metrics
+        self._m_spawned = metrics.counter(
+            "ftsh_sim_processes_spawned_total", "simulated command processes started")
+        self._m_unknown = metrics.counter(
+            "ftsh_sim_unknown_commands_total", "commands with no registered handler")
+        self._m_branches = metrics.counter(
+            "ftsh_sim_branch_processes_total", "forall branch processes started")
 
     # The interpreter's clock.
     def now(self) -> float:
@@ -124,6 +136,7 @@ class SimDriver:
     def _run_command(self, effect: RunCommand) -> Generator[Any, Any, CommandResult]:
         handler = self.registry.get(effect.argv[0])
         if handler is None:
+            self._m_unknown.inc()
             return CommandResult(
                 exit_code=127, detail=f"unknown simulated command {effect.argv[0]!r}"
             )
@@ -150,6 +163,7 @@ class SimDriver:
             self._shield(handler(context), effect.argv[0]),
             name=f"cmd:{effect.argv[0]}",
         )
+        self._m_spawned.inc()
 
         if effect.deadline == UNBOUNDED:
             try:
@@ -212,6 +226,7 @@ class SimDriver:
                     process = self.engine.process(
                         self._drive(branch.generator), name=branch.name
                     )
+                    self._m_branches.inc()
                     index_of[process] = next_branch
                     pending.add(process)
                 next_branch += 1

@@ -22,6 +22,7 @@ from ..core.interpreter import Interpreter
 from ..core.parser import parse
 from ..core.shell import RunResult
 from ..core.shell_log import ShellLog
+from ..obs.api import NULL_OBS
 from ..core.timeline import UNBOUNDED
 from ..core.variables import Scope
 from ..sim.engine import Engine
@@ -43,14 +44,19 @@ class SimFtsh:
         name: str = "ftsh",
         log: Optional[ShellLog] = None,
         max_parallel: Optional[int] = None,
+        obs: Any = None,
     ) -> None:
         self.engine = engine
         self.driver = SimDriver(engine, registry, world=world, rng=rng,
-                                client=name, max_parallel=max_parallel)
+                                client=name, max_parallel=max_parallel,
+                                obs=obs)
         self.policy = policy
         self.name = name
         #: Shared across runs so a scenario can count events per client.
         self.log = log if log is not None else ShellLog(clock=lambda: engine.now)
+        #: Telemetry context, stamped with the engine's virtual clock.
+        self.obs = obs if obs is not None else NULL_OBS
+        self.obs.set_clock(lambda: engine.now)
 
     # ------------------------------------------------------------------
     def spawn(
@@ -67,7 +73,8 @@ class SimFtsh:
         if isinstance(script, str):
             script = parse(script)
         scope = Scope(dict(variables or {}))
-        interpreter = Interpreter(scope=scope, policy=self.policy, log=self.log)
+        interpreter = Interpreter(scope=scope, policy=self.policy, log=self.log,
+                                  obs=self.obs)
         deadline = UNBOUNDED if timeout is None else self.engine.now + timeout
         generator = interpreter.execute(script, overall_deadline=deadline)
         return self.engine.process(

@@ -83,6 +83,35 @@ class TestTryAndBackoff:
         noisy = run_script("try 2 times\n  false\nend")
         assert noisy.overloaded
 
+    def test_overload_needs_a_backoff_not_just_a_failure(self):
+        """One failed attempt with no retry sleeps is not overload."""
+        analysis = run_script("try 1 times\n  false\ncatch\n  success\nend")
+        assert analysis.backoff_count == 0
+        assert not analysis.overloaded
+
+    def test_overload_from_succeeding_retries(self):
+        """Backoffs count even when the try eventually succeeds (§5: the
+        signal is contention, not final failure)."""
+        state = {"calls": 0}
+
+        def flaky(ctx):
+            state["calls"] += 1
+            return 0 if state["calls"] >= 3 else 1
+            yield  # pragma: no cover
+
+        analysis = run_script("try 5 times\n  flaky\nend", flaky=flaky)
+        assert analysis.try_successes == 1
+        assert analysis.backoff_count == 2
+        assert analysis.overloaded
+
+    def test_backoff_totals_respect_ceiling(self):
+        """Waits are the *clipped* delays the client actually slept."""
+        analysis = run_script("try 6 times every 1 second\n  false\nend")
+        # `every`: five fixed 1 s waits, never exponential
+        assert analysis.backoff_count == 5
+        assert analysis.backoff_total_wait == pytest.approx(5.0)
+        assert analysis.backoff_max_wait == pytest.approx(1.0)
+
     def test_catch_counted(self):
         analysis = run_script("try 1 times\n  false\ncatch\n  success\nend")
         assert analysis.catches_entered == 1

@@ -87,3 +87,64 @@ class TestOptions:
     def test_summary(self, capsys):
         assert main(["--summary", "-c", "x=1"]) == 0
         assert "execution log summary" in capsys.readouterr().err
+
+
+class TestVersion:
+    def test_version_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("ftsh ")
+        assert out.split()[1][0].isdigit()
+
+    def test_version_matches_package(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit):
+            main(["--version"])
+        assert capsys.readouterr().out.strip() == f"ftsh {repro.__version__}"
+
+
+class TestObservabilityFlags:
+    SCRIPT = "try 2 times\n  sh -c 'exit 1'\ncatch\n  sh -c 'exit 0'\nend"
+
+    def test_trace_writes_chrome_json(self, tmp_path):
+        import json
+
+        trace = tmp_path / "run.trace.json"
+        assert main(["--trace", str(trace), "-c", self.SCRIPT]) == 0
+        events = json.loads(trace.read_text())
+        assert isinstance(events, list) and events
+        names = {event["name"] for event in events}
+        assert "script" in names and "try" in names
+
+    def test_spans_writes_jsonl(self, tmp_path):
+        from repro.obs.exporters import read_spans_jsonl
+
+        spans_file = tmp_path / "run.spans.jsonl"
+        assert main(["--spans", str(spans_file), "-c", self.SCRIPT]) == 0
+        spans = read_spans_jsonl(str(spans_file))
+        assert {s.kind for s in spans} >= {"script", "try", "attempt", "command"}
+        assert all(s.finished for s in spans)
+
+    def test_metrics_writes_prometheus_text(self, tmp_path):
+        prom = tmp_path / "run.prom"
+        assert main(["--metrics", str(prom), "-c", self.SCRIPT]) == 0
+        text = prom.read_text()
+        assert "# TYPE ftsh_commands_total counter" in text
+        assert "ftsh_try_attempts_total 2" in text
+
+    def test_obs_report_prints_to_stderr(self, capsys):
+        assert main(["--obs-report", "-c", "sh -c 'exit 0'"]) == 0
+        assert "ftsh telemetry report" in capsys.readouterr().err
+
+    def test_unwritable_export_warns_not_crashes(self, capsys):
+        code = main(["--trace", "/nonexistent/dir/run.json",
+                     "-c", "sh -c 'exit 0'"])
+        assert code == 0
+        assert "cannot write" in capsys.readouterr().err
+
+    def test_no_flags_no_obs_overhead(self, tmp_path):
+        # without any obs flag the run must not instantiate telemetry
+        assert main(["-c", "sh -c 'exit 0'"]) == 0

@@ -1,10 +1,11 @@
 """The runall driver (quick scale): reports land on disk, summary prints."""
 
+import json
 import os
 
 import pytest
 
-from repro.experiments.runall import SCALES, main
+from repro.experiments.runall import SCALES, main, write_observability
 
 
 class TestScales:
@@ -23,6 +24,38 @@ class TestScales:
         quick, medium, full = SCALES["quick"], SCALES["medium"], SCALES["full"]
         assert len(quick.fig1_counts) <= len(medium.fig1_counts) <= len(full.fig1_counts)
         assert quick.timeline_duration <= medium.timeline_duration <= full.timeline_duration
+
+
+class TestWriteObservability:
+    def test_bundle_per_discipline(self, tmp_path):
+        obs_dir = str(tmp_path / "obs")
+        paths = write_observability(obs_dir, n_clients=3, duration=2.0)
+        assert sorted(os.listdir(obs_dir)) == sorted(
+            f"submit_{d}.{ext}"
+            for d in ("aloha", "ethernet", "fixed")
+            for ext in ("trace.json", "spans.jsonl", "prom", "report.txt")
+        )
+        assert sorted(paths) == sorted(
+            os.path.join(obs_dir, name) for name in os.listdir(obs_dir)
+        )
+
+    def test_exports_are_valid_and_labeled(self, tmp_path):
+        obs_dir = str(tmp_path / "obs")
+        write_observability(obs_dir, n_clients=3, duration=2.0)
+
+        with open(os.path.join(obs_dir, "submit_ethernet.trace.json")) as fh:
+            events = json.load(fh)
+        assert isinstance(events, list) and events
+        assert {"script", "try"} <= {e["name"] for e in events}
+
+        prom = open(os.path.join(obs_dir, "submit_ethernet.prom")).read()
+        assert 'discipline="ethernet"' in prom
+        assert 'scenario="submit"' in prom
+        assert "ftsh_commands_total" in prom
+        assert "grid_fds_free" in prom
+
+        report = open(os.path.join(obs_dir, "submit_ethernet.report.txt")).read()
+        assert "ftsh telemetry report" in report
 
 
 @pytest.mark.slow

@@ -1,0 +1,124 @@
+"""The cross-runtime guarantee of the trace tree: the same script yields
+the *same span structure* under the real POSIX driver and the simulation
+driver — the obs-side analogue of tests/integration/test_cross_driver.py.
+"""
+
+import pytest
+
+from repro.core import Ftsh
+from repro.core.backoff import BackoffPolicy
+from repro.core.realruntime import RealDriver
+from repro.obs.api import Observability
+from repro.sim import Engine
+from repro.simruntime import CommandRegistry, SimFtsh
+
+#: Identical deterministic policy in both drivers (no jitter, tiny base
+#: so the real runs stay fast).
+POLICY = BackoffPolicy(base=0.05, factor=2.0, ceiling=0.4,
+                       jitter_low=1.0, jitter_high=1.0)
+
+
+def run_real(script):
+    obs = Observability.wall()
+    shell = Ftsh(driver=RealDriver(term_grace=0.2, obs=obs), policy=POLICY,
+                 obs=obs)
+    return shell.run(script), obs
+
+
+def run_sim(script):
+    engine = Engine()
+    obs = Observability.for_engine(engine)
+    registry = CommandRegistry()
+
+    @registry.register("sh")
+    def sh(ctx):
+        """Interpret the tiny `sh -c 'exit N'` subset our scripts use."""
+        assert ctx.args[0] == "-c"
+        body = ctx.args[1]
+        if body.startswith("exit "):
+            return int(body.split()[1])
+        return 0
+        yield  # pragma: no cover
+
+    shell = SimFtsh(engine, registry, policy=POLICY, obs=obs)
+    return shell.run(script), obs
+
+
+CASES = [
+    "sh -c 'exit 0'",
+    "sh -c 'exit 1'",
+    "try 3 times\n  sh -c 'exit 1'\nend",
+    "try 3 times\n  sh -c 'exit 1'\ncatch\n  sh -c 'exit 0'\nend",
+    'forany x in 1 1 0\n  sh -c "exit ${x}"\nend',
+    "a=5\nif ${a} .lt. 10\n  sh -c 'exit 0'\nelse\n  sh -c 'exit 1'\nend",
+]
+
+
+@pytest.mark.parametrize("script", CASES, ids=range(len(CASES)))
+def test_same_span_structure_both_drivers(script):
+    """Names, kinds, statuses and nesting line up span for span."""
+    real_result, real_obs = run_real(script)
+    sim_result, sim_obs = run_sim(script)
+    assert real_result.success == sim_result.success
+    assert real_obs.tracer.structure() == sim_obs.tracer.structure()
+
+
+def test_try_span_records_attempts_identically():
+    script = "try 3 times\n  sh -c 'exit 1'\ncatch\n  sh -c 'exit 0'\nend"
+    _, real_obs = run_real(script)
+    _, sim_obs = run_sim(script)
+    for obs in (real_obs, sim_obs):
+        (trial,) = [s for s in obs.tracer if s.kind == "try"]
+        assert trial.attrs["attempts"] == 3
+        assert trial.attrs["caught"] is True
+
+
+def test_metrics_line_up_across_drivers():
+    script = "try 3 times\n  sh -c 'exit 1'\ncatch\n  sh -c 'exit 0'\nend"
+    _, real_obs = run_real(script)
+    _, sim_obs = run_sim(script)
+
+    def snapshot(obs):
+        return {
+            "attempts": obs.metrics.get("ftsh_try_attempts_total").value,
+            "backoffs": obs.metrics.get("ftsh_backoff_initiations_total").value,
+            "catches": obs.metrics.get("ftsh_catch_entered_total").value,
+            "failed": obs.metrics.get("ftsh_commands_total")
+                         .labels(command="sh", outcome="failed").value,
+            "ok": obs.metrics.get("ftsh_commands_total")
+                     .labels(command="sh", outcome="ok").value,
+        }
+
+    expected = {"attempts": 3.0, "backoffs": 2.0, "catches": 1.0,
+                "failed": 3.0, "ok": 1.0}
+    assert snapshot(real_obs) == expected
+    assert snapshot(sim_obs) == expected
+
+
+def test_all_spans_closed_after_run():
+    for runner in (run_real, run_sim):
+        _, obs = runner("try 2 times\n  sh -c 'exit 1'\ncatch\n  sh -c 'exit 0'\nend")
+        assert all(span.finished for span in obs.tracer)
+
+
+def test_sim_spans_use_virtual_time():
+    """The backoff sleeps land on the virtual clock, not the wall."""
+    _, obs = run_sim("try 3 times\n  sh -c 'exit 1'\ncatch\n  sh -c 'exit 0'\nend")
+    backoffs = [s for s in obs.tracer if s.kind == "backoff"]
+    assert [pytest.approx(b.duration) for b in backoffs] == [0.05, 0.1]
+
+
+def test_forall_branch_spans_nest_under_forall():
+    script = 'forall x in 0 0\n  sh -c "exit ${x}"\nend'
+    real_result, real_obs = run_real(script)
+    sim_result, sim_obs = run_sim(script)
+    assert real_result.success and sim_result.success
+    assert real_obs.tracer.structure() == sim_obs.tracer.structure()
+    for obs in (real_obs, sim_obs):
+        (forall,) = [s for s in obs.tracer if s.kind == "forall"]
+        branches = obs.tracer.children(forall)
+        assert [b.kind for b in branches] == ["branch", "branch"]
+        assert all(b.status == "ok" for b in branches)
+        for branch in branches:
+            kinds = [c.kind for c in obs.tracer.children(branch)]
+            assert kinds == ["command"]

@@ -1,0 +1,125 @@
+"""The telemetry summarizer: span stats, digests, rendered reports."""
+
+import pytest
+
+from repro.obs.exporters import write_spans_jsonl
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import digest, main, render_report, span_stats
+from repro.obs.spans import STATUS_FAILED, STATUS_OK, STATUS_TIMEOUT, Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def build_trace():
+    """script > try > 2 attempts (+1 command each) + 1 backoff."""
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    root = tracer.start("script", "script")
+    trial = tracer.start("try", "try", parent=root, line=1)
+    for index, status in enumerate((STATUS_FAILED, STATUS_OK)):
+        attempt = tracer.start(f"attempt:{index + 1}", "attempt", parent=trial)
+        cmd = tracer.start("command:sh", "command", parent=attempt)
+        clock.now += 1.0 + index  # commands take 1 s then 2 s
+        tracer.finish(cmd, status)
+        tracer.finish(attempt, status)
+        if status == STATUS_FAILED:
+            sleep = tracer.start("backoff:1", "backoff", parent=trial)
+            clock.now += 4.0
+            tracer.finish(sleep, STATUS_OK)
+    tracer.finish(trial, STATUS_OK)
+    tracer.finish(root, STATUS_OK)
+    return tracer
+
+
+class TestSpanStats:
+    def test_counts_by_kind(self):
+        stats = span_stats(build_trace())
+        assert stats["attempt"].count == 2
+        assert stats["attempt"].ok == 1
+        assert stats["attempt"].failed == 1
+        assert stats["command"].count == 2
+        assert stats["backoff"].count == 1
+
+    def test_durations(self):
+        stats = span_stats(build_trace())
+        assert stats["command"].total_duration == pytest.approx(3.0)
+        assert stats["command"].mean_duration == pytest.approx(1.5)
+        assert stats["command"].max_duration == pytest.approx(2.0)
+
+    def test_timeout_bucket(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        span = tracer.start("command:slow", "command")
+        tracer.finish(span, STATUS_TIMEOUT)
+        assert span_stats(tracer)["command"].timeout == 1
+
+    def test_empty(self):
+        assert span_stats(Tracer()) == {}
+
+
+class TestDigest:
+    def test_slowest_commands_ranked(self):
+        trace = digest(build_trace())
+        assert [s.duration for s in trace.slowest_commands] == [2.0, 1.0]
+
+    def test_deepest_tries(self):
+        trace = digest(build_trace())
+        ((span, attempts),) = trace.deepest_tries
+        assert span.kind == "try"
+        assert attempts == 2
+
+    def test_backoff_totals(self):
+        trace = digest(build_trace())
+        assert trace.backoff_initiations == 1
+        assert trace.backoff_total_wait == pytest.approx(4.0)
+
+    def test_limit(self):
+        trace = digest(build_trace(), limit=1)
+        assert len(trace.slowest_commands) == 1
+
+
+class TestRenderReport:
+    def test_sections_present(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total").inc(3)
+        registry.gauge("free_fds").set(9)
+        hist = registry.histogram("wait_seconds")
+        hist.observe(1.0)
+        text = render_report(tracer=build_trace(), registry=registry)
+        assert "ftsh telemetry report" in text
+        assert "OVERLOAD SIGNAL" in text  # one backoff initiation
+        assert "slowest commands" in text
+        assert "deepest tries" in text
+        assert "jobs_total = 3" in text
+        assert "free_fds = 9" in text
+        assert "wait_seconds count=1" in text
+
+    def test_quiet_run_has_no_overload(self):
+        tracer = Tracer()
+        span = tracer.start("script", "script")
+        tracer.finish(span, STATUS_OK)
+        assert "OVERLOAD" not in render_report(tracer=tracer)
+
+    def test_works_on_plain_span_lists(self):
+        spans = list(build_trace())
+        assert "spans (kind" in render_report(tracer=spans)
+
+
+class TestMain:
+    def test_summarizes_archived_log(self, tmp_path, capsys):
+        path = str(tmp_path / "run.spans.jsonl")
+        write_spans_jsonl(build_trace(), path)
+        assert main([path]) == 0
+        out = capsys.readouterr().out
+        assert "ftsh telemetry report" in out
+        assert "command" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["/nonexistent/run.spans.jsonl"]) == 2
+        assert "cannot read" in capsys.readouterr().err

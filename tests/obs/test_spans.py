@@ -1,0 +1,154 @@
+"""The span tree: Tracer, Span, and the null variant."""
+
+import pytest
+
+from repro.obs.spans import (
+    NULL_TRACER,
+    STATUS_CANCELLED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_OPEN,
+    Span,
+    Tracer,
+)
+
+
+class FakeClock:
+    """A hand-cranked clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock=clock)
+
+
+class TestSpanLifecycle:
+    def test_start_stamps_clock(self, tracer, clock):
+        clock.now = 3.5
+        span = tracer.start("script", "script")
+        assert span.start == 3.5
+        assert span.status == STATUS_OPEN
+        assert not span.finished
+        assert span.duration == 0.0
+
+    def test_finish_stamps_end_and_status(self, tracer, clock):
+        span = tracer.start("x", "command")
+        clock.now = 2.0
+        tracer.finish(span, STATUS_FAILED, exit_code=1)
+        assert span.finished
+        assert span.end == 2.0
+        assert span.duration == 2.0
+        assert span.status == STATUS_FAILED
+        assert span.attrs["exit_code"] == 1
+
+    def test_finish_is_idempotent_first_wins(self, tracer, clock):
+        span = tracer.start("x", "command")
+        clock.now = 1.0
+        tracer.finish(span, STATUS_OK)
+        clock.now = 9.0
+        tracer.finish(span, STATUS_CANCELLED)
+        assert span.status == STATUS_OK
+        assert span.end == 1.0
+
+    def test_none_attrs_are_dropped(self, tracer):
+        span = tracer.start("x", "try", line=None, limit=4)
+        assert span.attrs == {"limit": 4}
+
+    def test_ids_are_unique_and_monotone(self, tracer):
+        ids = [tracer.start("s", "k").span_id for _ in range(5)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5
+
+
+class TestTree:
+    def test_parenting(self, tracer):
+        root = tracer.start("script", "script")
+        child = tracer.start("cmd", "command", parent=root)
+        assert child.parent_id == root.span_id
+        assert tracer.roots() == [root]
+        assert tracer.children(root) == [child]
+
+    def test_orphan_counts_as_root(self, tracer):
+        ghost = Span(span_id=999, parent_id=None, name="g", kind="k", start=0.0)
+        orphan = tracer.start("o", "k", parent=ghost)
+        assert orphan in tracer.roots()
+
+    def test_structure_nesting(self, tracer):
+        root = tracer.start("script", "script")
+        a = tracer.start("try", "try", parent=root)
+        tracer.finish(a, STATUS_OK)
+        tracer.finish(root, STATUS_OK)
+        assert tracer.structure() == (
+            ("script", "script", "ok", (("try", "try", "ok", ()),)),
+        )
+
+    def test_structure_equal_across_tracers(self, clock):
+        def build(tracer):
+            root = tracer.start("script", "script")
+            cmd = tracer.start("command:sh", "command", parent=root)
+            tracer.finish(cmd, STATUS_FAILED)
+            tracer.finish(root, STATUS_FAILED)
+
+        one, two = Tracer(clock=clock), Tracer(clock=FakeClock())
+        build(one)
+        build(two)
+        assert one.structure() == two.structure()
+
+
+class TestCap:
+    def test_cap_drops_and_counts(self, clock):
+        tracer = Tracer(clock=clock, max_spans=2)
+        for _ in range(5):
+            tracer.start("s", "k")
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_len_and_iter(self, tracer):
+        tracer.start("a", "k")
+        tracer.start("b", "k")
+        assert len(tracer) == 2
+        assert [s.name for s in tracer] == ["a", "b"]
+
+
+class TestRoundTrip:
+    def test_to_from_dict(self, tracer, clock):
+        span = tracer.start("command:sh", "command", parent=None, argv="sh -c")
+        clock.now = 1.25
+        tracer.finish(span, STATUS_OK, exit_code=0)
+        again = Span.from_dict(span.to_dict())
+        assert again.to_dict() == span.to_dict()
+
+    def test_from_dict_defaults(self):
+        span = Span.from_dict({"span_id": 7})
+        assert span.span_id == 7
+        assert span.parent_id is None
+        assert span.status == STATUS_OPEN
+        assert span.attrs == {}
+
+
+class TestNullTracer:
+    def test_noop_surface(self):
+        span = NULL_TRACER.start("x", "k")
+        NULL_TRACER.finish(span, STATUS_FAILED)
+        assert not NULL_TRACER.enabled
+        assert len(NULL_TRACER) == 0
+        assert list(NULL_TRACER) == []
+        assert NULL_TRACER.roots() == []
+        assert NULL_TRACER.children(span) == []
+        assert NULL_TRACER.structure() == ()
+        assert NULL_TRACER.dropped == 0
+
+    def test_null_span_is_shared_and_closed(self):
+        assert NULL_TRACER.start("a", "k") is NULL_TRACER.start("b", "k")
+        assert NULL_TRACER.start("a", "k").finished

@@ -58,6 +58,28 @@ class TestTimeSeries:
         series = TimeSeries("s")
         assert series.last == 0.0
         assert series.mean() == 0.0
+        assert series.minimum() == 0.0
+        assert series.maximum() == 0.0
+
+    def test_empty_at_and_resample_use_default(self):
+        series = TimeSeries("s")
+        assert series.at(100.0) == 0.0
+        assert series.at(100.0, default=7.0) == 7.0
+        assert series.resample([0.0, 1.0], default=-1.0) == [-1.0, -1.0]
+
+    def test_resample_empty_times(self):
+        series = TimeSeries("s")
+        series.record(0.0, 1.0)
+        assert series.resample([]) == []
+
+    def test_at_with_duplicate_timestamps_returns_last(self):
+        series = TimeSeries("s")
+        series.record(1.0, 1.0)
+        series.record(1.0, 2.0)
+        series.record(1.0, 3.0)
+        assert series.at(1.0) == 3.0
+        assert series.at(0.5, default=-1.0) == -1.0
+        assert series.resample([1.0, 2.0]) == [3.0, 3.0]
 
 
 class TestCounter:
@@ -95,6 +117,25 @@ class TestSample:
         engine.run(until=10.0)
         assert series.times == [0.0, 2.0, 4.0, 6.0, 8.0, 10.0]
         assert series.values == [0.0, 0.0, 0.0, 9.0, 9.0, 9.0]
+
+    def test_stops_exactly_at_non_multiple_until(self, engine):
+        """The final wait is clipped so the last sample lands *at* until."""
+        series = TimeSeries("probe")
+        sample(engine, 3.0, lambda: 1.0, series, until=10.0)
+        engine.run(until=50.0)
+        assert series.times == [0.0, 3.0, 6.0, 9.0, 10.0]
+
+    def test_no_wakeup_scheduled_past_until(self, engine):
+        series = TimeSeries("probe")
+        sample(engine, 3.0, lambda: 1.0, series, until=10.0)
+        engine.run()  # to queue exhaustion: the sampler is the only process
+        assert engine.now == 10.0
+
+    def test_until_on_interval_boundary(self, engine):
+        series = TimeSeries("probe")
+        sample(engine, 5.0, lambda: 1.0, series, until=10.0)
+        engine.run(until=50.0)
+        assert series.times == [0.0, 5.0, 10.0]
 
     def test_bad_interval(self, engine):
         with pytest.raises(ValueError):
