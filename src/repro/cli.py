@@ -136,6 +136,22 @@ def build_argparser() -> argparse.ArgumentParser:
         help="print a telemetry summary (span stats, slowest commands, "
         "backoff totals) to stderr",
     )
+    parser.add_argument(
+        "--inject-fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="inject a command fault: COMMAND:KIND[:SCHEDULE][:delay=S], "
+        "e.g. 'wget:eperm:flaky:p=0.5' or 'sleep:delay:delay=2' "
+        "(repeatable; see repro.faults.runtime)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for the fault plan's own random stream (default 0)",
+    )
     return parser
 
 
@@ -200,7 +216,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .obs.api import Observability
 
         obs = Observability()
-    driver = RealDriver(max_parallel=args.max_parallel, obs=obs)
+    if args.inject_fault:
+        from .core.errors import SimulationError
+        from .faults.runtime import (
+            CommandFaultPlan,
+            make_faulting_real_driver,
+            parse_command_fault,
+        )
+
+        try:
+            faults = [parse_command_fault(spec) for spec in args.inject_fault]
+        except SimulationError as exc:
+            print(f"ftsh: bad --inject-fault: {exc}", file=sys.stderr)
+            return 2
+        plan = CommandFaultPlan(faults, seed=args.fault_seed,
+                                horizon=timeout if timeout else 3600.0)
+        driver = make_faulting_real_driver(
+            plan, max_parallel=args.max_parallel, obs=obs)
+    else:
+        driver = RealDriver(max_parallel=args.max_parallel, obs=obs)
     level = {"results": LOG_RESULTS, "commands": LOG_COMMANDS,
              "trace": LOG_TRACE}[args.log_level]
     spool = SpoolPolicy(args.spool_dir) if args.spool_dir else None

@@ -5,6 +5,13 @@ harnesses and plain-text reporting.  ``python -m repro.experiments.runall``
 regenerates everything at a chosen scale.
 """
 
+from .chaos import (
+    ChaosCell,
+    ChaosReport,
+    check_ordering,
+    render_scorecard,
+    run_chaos_campaign,
+)
 from .figure1 import Figure1Result, run_figure1
 from .figure2 import TimelineResult, run_figure2, run_submit_timeline
 from .figure3 import run_figure3
@@ -22,6 +29,11 @@ __all__ = [
     "BufferParams",
     "BufferResult",
     "BufferSweepResult",
+    "ChaosCell",
+    "ChaosReport",
+    "check_ordering",
+    "render_scorecard",
+    "run_chaos_campaign",
     "DagParams",
     "DagResult",
     "KangarooParams",

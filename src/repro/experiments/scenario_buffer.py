@@ -15,6 +15,7 @@ from typing import Any
 from ..clients.base import Discipline
 from ..clients.scripts import producer_script, producer_script_reserved
 from ..core.shell_log import ShellLog
+from ..faults.injectors import FaultSpec, install_faults
 from ..grid.storage import BufferConfig, BufferWorld, register_buffer_commands
 from ..obs.api import NULL_OBS
 from ..obs.clock import engine_clock
@@ -42,6 +43,8 @@ class BufferParams:
     #: of the paper's §5 allocation discussion).  The discipline's policy
     #: still governs retry pacing when the reservation is denied.
     reserved: bool = False
+    #: Injected faults (enospc seizures, slow disk) for this world.
+    faults: tuple[FaultSpec, ...] = ()
     #: Optional :class:`repro.obs.Observability` (see SubmitParams.obs).
     obs: Any = None
 
@@ -60,6 +63,8 @@ class BufferResult:
     free_series: TimeSeries
     reservations_denied: int = 0
     alloc_wait_total: float = 0.0
+    #: Cumulative files-consumed series (recovery/starvation analysis).
+    consumed_series: TimeSeries = None  # type: ignore[assignment]
 
 
 def _producer_loop(
@@ -87,13 +92,15 @@ def _producer_loop(
 
 def run_buffer(params: BufferParams) -> BufferResult:
     """Run the scenario and collect Figure-4/5 measurements."""
-    engine = Engine()
+    streams = RandomStreams(params.seed)
+    engine = Engine(streams=streams)
     obs = params.obs if params.obs is not None else NULL_OBS
     obs.set_clock(engine_clock(engine))
     world = BufferWorld(engine, params.buffer, obs=obs)
     registry = CommandRegistry()
     register_buffer_commands(registry, world)
-    streams = RandomStreams(params.seed)
+    install_faults(engine, params.faults, streams=streams,
+                   horizon=params.duration, buffer=world.buffer)
     if obs.enabled:
         sample_gauges(obs.metrics, engine, params.sample_interval,
                       until=params.duration)
@@ -147,4 +154,5 @@ def run_buffer(params: BufferParams) -> BufferResult:
         free_series=free_series,
         reservations_denied=buffer.reservations_denied.count,
         alloc_wait_total=world.alloc_wait_total,
+        consumed_series=buffer.files_consumed.series,
     )

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..clients.base import Discipline
+from ..faults.injectors import FaultSpec, install_faults
 from ..grid.chimera import DagDispatcher, DagStats, layered_dag
 from ..grid.condor import CondorConfig, CondorWorld, register_condor_commands
 from ..grid.pool import WorkerPool
@@ -34,8 +35,10 @@ class DagParams:
     carrier_threshold: int = 1000
     #: Size of the shared execution pool; None = unlimited machines
     #: (each job simply takes its exec_time).
-    pool_workers: Optional[int] = None
+    pool_workers: int | None = None
     pool_failure_rate: float = 0.0
+    #: Injected faults (schedd-crash, fd-squeeze, worker-flaky).
+    faults: tuple[FaultSpec, ...] = ()
 
 
 @dataclass(slots=True)
@@ -52,11 +55,11 @@ class DagResult:
 
 def run_dag_scenario(params: DagParams) -> DagResult:
     """Run the workflow race and report the aggregate makespan."""
-    engine = Engine()
+    streams = RandomStreams(params.seed)
+    engine = Engine(streams=streams)
     world = CondorWorld(engine, params.condor)
     registry = CommandRegistry()
     register_condor_commands(registry, world)
-    streams = RandomStreams(params.seed)
 
     pool = None
     if params.pool_workers is not None:
@@ -66,6 +69,9 @@ def run_dag_scenario(params: DagParams) -> DagResult:
             failure_rate=params.pool_failure_rate,
             rng=streams.stream("pool"),
         )
+    install_faults(engine, params.faults, streams=streams,
+                   horizon=params.horizon,
+                   schedd=world.schedd, fdtable=world.fdtable, pool=pool)
 
     dispatchers = []
     processes = []

@@ -11,13 +11,18 @@ exposed here as lost delivery.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..clients.base import Discipline
 from ..clients.scripts import producer_script
 from ..core.shell_log import ShellLog
+from ..faults.injectors import FaultSpec, install_faults
 from ..grid.archive import ArchiveUploader, WanConfig, WanLink
 from ..grid.storage import BufferConfig, BufferWorld, register_buffer_commands
+from ..obs.api import NULL_OBS
+from ..obs.clock import engine_clock
 from ..sim.engine import Engine
+from ..sim.monitor import TimeSeries
 from ..sim.rng import RandomStreams
 from ..simruntime.registry import CommandRegistry
 from ..simruntime.shell import SimFtsh
@@ -32,6 +37,10 @@ class KangarooParams:
     wan: WanConfig = field(default_factory=WanConfig)
     seed: int = 2003
     log_cap: int = 50_000
+    #: Injected faults (wan-partition, enospc, slow-disk) for this world.
+    faults: tuple[FaultSpec, ...] = ()
+    #: Optional :class:`repro.obs.Observability` (see SubmitParams.obs).
+    obs: Any = None
 
 
 @dataclass(slots=True)
@@ -45,20 +54,27 @@ class KangarooResult:
     upload_failures: int
     backlog_mb: float
     backoffs: int
+    #: Cumulative files-delivered series (recovery/starvation analysis).
+    delivered_series: TimeSeries = None  # type: ignore[assignment]
 
 
 def run_kangaroo(params: KangarooParams) -> KangarooResult:
     """Run the two-hop pipeline and report end-to-end delivery."""
-    engine = Engine()
-    world = BufferWorld(engine, params.buffer)
+    streams = RandomStreams(params.seed)
+    engine = Engine(streams=streams)
+    obs = params.obs if params.obs is not None else NULL_OBS
+    obs.set_clock(engine_clock(engine))
+    world = BufferWorld(engine, params.buffer, obs=obs)
     registry = CommandRegistry()
     register_buffer_commands(registry, world)
-    streams = RandomStreams(params.seed)
 
     link = WanLink(engine, params.wan, rng=streams.stream("wan"))
     uploader = ArchiveUploader(world.buffer, link,
                                rng=streams.stream("uploader"))
     uploader.start()
+    install_faults(engine, params.faults, streams=streams,
+                   horizon=params.duration,
+                   buffer=world.buffer, link=link)
 
     shared_log = ShellLog(clock=lambda: engine.now, max_events=params.log_cap)
 
@@ -66,7 +82,7 @@ def run_kangaroo(params: KangarooParams) -> KangarooResult:
         shell = SimFtsh(engine, registry, world=world,
                         rng=streams.stream(f"p{index}"),
                         policy=params.discipline.policy,
-                        name=f"p{index}", log=shared_log)
+                        name=f"p{index}", log=shared_log, obs=obs)
         sizes = streams.stream(f"sizes-{index}")
         yield engine.timeout(streams.stream(f"stagger-{index}").uniform(0, 1))
         while engine.now < params.duration:
@@ -93,4 +109,5 @@ def run_kangaroo(params: KangarooParams) -> KangarooResult:
         upload_failures=uploader.upload_failures.count,
         backlog_mb=world.buffer.used_mb,
         backoffs=shared_log.backoff_initiations(),
+        delivered_series=uploader.files_delivered.series,
     )

@@ -14,6 +14,7 @@ from typing import Any
 from ..clients.base import Discipline
 from ..clients.scripts import reader_script
 from ..core.shell_log import ShellLog
+from ..faults.injectors import FaultSpec, install_faults
 from ..grid.httpserver import ReplicaConfig, ReplicaWorld, register_replica_commands
 from ..obs.api import NULL_OBS
 from ..obs.clock import engine_clock
@@ -38,6 +39,8 @@ class ReplicaParams:
     replica: ReplicaConfig = field(default_factory=ReplicaConfig)
     seed: int = 2003
     log_cap: int = 50_000
+    #: Injected faults (http-5xx bursts, accept-queue saturation).
+    faults: tuple[FaultSpec, ...] = ()
     #: Optional :class:`repro.obs.Observability` (see SubmitParams.obs).
     obs: Any = None
 
@@ -83,7 +86,8 @@ def _reader_loop(
 
 def run_replica(params: ReplicaParams) -> ReplicaResult:
     """Run the scenario and collect Figure-6/7 measurements."""
-    engine = Engine()
+    streams = RandomStreams(params.seed)
+    engine = Engine(streams=streams)
     obs = params.obs if params.obs is not None else NULL_OBS
     obs.set_clock(engine_clock(engine))
     world = ReplicaWorld(
@@ -95,7 +99,9 @@ def run_replica(params: ReplicaParams) -> ReplicaResult:
     )
     registry = CommandRegistry()
     register_replica_commands(registry, world)
-    streams = RandomStreams(params.seed)
+    install_faults(engine, params.faults, streams=streams,
+                   horizon=params.duration,
+                   servers=list(world.servers.values()))
 
     shared_log = ShellLog(clock=lambda: engine.now, max_events=params.log_cap)
     for index in range(params.n_clients):

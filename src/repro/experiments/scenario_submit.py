@@ -17,6 +17,7 @@ from ..clients.base import Discipline
 from ..clients.scripts import submit_script
 from ..core.parser import parse
 from ..core.shell_log import ShellLog
+from ..faults.injectors import FaultSpec, install_faults
 from ..grid.condor import CondorConfig, CondorWorld, register_condor_commands
 from ..obs.api import NULL_OBS
 from ..obs.clock import engine_clock
@@ -41,6 +42,9 @@ class SubmitParams:
     seed: int = 2003
     sample_interval: float = 5.0
     log_cap: int = 50_000
+    #: Injected faults (schedd crashes, FD squeezes); resolved by
+    #: :func:`repro.faults.injectors.install_faults` against this world.
+    faults: tuple[FaultSpec, ...] = ()
     #: Optional :class:`repro.obs.Observability`: the run installs the
     #: engine clock on it, mirrors substrate counters into its registry,
     #: and samples the live gauges every ``sample_interval`` seconds.
@@ -79,13 +83,16 @@ def _client_loop(
 
 def run_submission(params: SubmitParams) -> SubmitResult:
     """Run the scenario and collect Figure-1/2/3 measurements."""
-    engine = Engine()
+    streams = RandomStreams(params.seed)
+    engine = Engine(streams=streams)
     obs = params.obs if params.obs is not None else NULL_OBS
     obs.set_clock(engine_clock(engine))
     world = CondorWorld(engine, params.condor, obs=obs)
     registry = CommandRegistry()
     register_condor_commands(registry, world)
-    streams = RandomStreams(params.seed)
+    install_faults(engine, params.faults, streams=streams,
+                   horizon=params.duration,
+                   schedd=world.schedd, fdtable=world.fdtable)
     if obs.enabled:
         sample_gauges(obs.metrics, engine, params.sample_interval,
                       until=params.duration)

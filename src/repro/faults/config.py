@@ -1,0 +1,60 @@
+"""Central parameter validation for fault and substrate configuration.
+
+Every stochastic or capacity parameter in the simulation — worker failure
+rates, WAN bandwidths, fault schedule periods — used to be bounds-checked
+ad hoc at each constructor, with slightly different error text at every
+site.  These helpers give one error message format for the whole tree::
+
+    <name> must be <constraint>, got <value>
+
+All raise :class:`~repro.core.errors.SimulationError` so existing callers
+(and tests) that catch the simulation error hierarchy keep working.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import SimulationError
+
+
+def _fail(name: str, constraint: str, value: object) -> SimulationError:
+    return SimulationError(f"{name} must be {constraint}, got {value!r}")
+
+
+def validate_probability(name: str, value: float) -> float:
+    """A probability usable as a per-event failure chance: ``[0, 1)``.
+
+    The open upper bound is deliberate — a certain failure (1.0) turns a
+    retry loop into an infinite loop, which is a configuration bug, not a
+    fault model.
+    """
+    if not (0.0 <= value < 1.0):
+        raise _fail(name, "in [0, 1)", value)
+    return value
+
+
+def validate_fraction(name: str, value: float) -> float:
+    """A closed-interval fraction ``[0, 1]`` (e.g. a partial-transfer point)."""
+    if not (0.0 <= value <= 1.0):
+        raise _fail(name, "in [0, 1]", value)
+    return value
+
+
+def validate_positive(name: str, value: float) -> float:
+    """A strictly positive rate/duration/capacity."""
+    if not value > 0:
+        raise _fail(name, "> 0", value)
+    return value
+
+
+def validate_non_negative(name: str, value: float) -> float:
+    """A quantity that may be zero (zero usually meaning "disabled")."""
+    if not value >= 0:
+        raise _fail(name, ">= 0", value)
+    return value
+
+
+def validate_at_least(name: str, value: int, minimum: int) -> int:
+    """An integer count with a floor (worker pools, FD capacities)."""
+    if value < minimum:
+        raise _fail(name, f">= {minimum}", value)
+    return value

@@ -1,0 +1,349 @@
+"""Injectors: attach fault schedules to substrates through narrow hooks.
+
+Each injector knows one way a substrate can fail and drives it from a
+:class:`~repro.faults.schedule.FaultSchedule`: ``apply`` at window start,
+``restore`` at window end, running as an ordinary simulation process.
+The substrates expose deliberately small hooks (``Schedd.crash``,
+``FDTable.allocate``, ``SharedBuffer.seize``, ``DiskIO.slowdown``,
+``FileServer.failing``, ``WanLink.fail``) so this module never reaches
+into private state.
+
+Injectors are resolved from :class:`FaultSpec` descriptions by
+:func:`install_faults`, which scenario harnesses call with whatever
+substrate objects their world actually has — a spec naming a target the
+world cannot satisfy fails fast.
+
+Severity semantics per target (dimensionless in the schedule, concrete
+here):
+
+===============  ==========================================================
+``schedd-crash``   ignored; each window start forces one crash/restart
+``fd-squeeze``     descriptors pinned for the window's duration
+``enospc``         megabytes of buffer space seized for the window
+``slow-disk``      disk slowdown factor while the window is open
+``http-5xx``       fraction of the transfer served before the reset
+``accept-queue``   bogus connections parked on each server's accept queue
+``wan-partition``  ignored; the link is down for the window
+``worker-flaky``   worker mid-job failure probability during the window
+===============  ==========================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..core.errors import SimulationError
+from ..sim.engine import Engine
+from ..sim.monitor import Counter
+from .config import validate_fraction, validate_probability
+from .schedule import UNBOUNDED, FaultSchedule, FaultWindow, drive_schedule
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One fault to install: a target name, a schedule, a severity.
+
+    ``severity`` overrides the schedule's window severity when given
+    (most campaign sweeps vary severity while keeping timing fixed).
+    """
+
+    target: str
+    schedule: FaultSchedule
+    severity: Optional[float] = None
+
+
+class Injector:
+    """Base: compiles a schedule into apply/restore against one target."""
+
+    #: Stable name used for process/counter naming; subclasses override.
+    name = "fault"
+
+    def __init__(
+        self,
+        engine: Engine,
+        schedule: FaultSchedule,
+        rng: random.Random,
+        severity: Optional[float] = None,
+        horizon: float = UNBOUNDED,
+    ) -> None:
+        self.engine = engine
+        self.schedule = schedule
+        self.rng = rng
+        self.severity = severity
+        self.horizon = horizon
+        #: Windows applied so far (scorecards read this after the run).
+        self.windows_applied = Counter(engine, f"fault-{self.name}",
+                                       keep_series=False)
+
+    def start(self):
+        """Spawn the driving process; idempotent use is the caller's job."""
+        return self.engine.process(self._run(), name=f"fault:{self.name}")
+
+    def _run(self):
+        yield from drive_schedule(
+            self.engine, self.schedule, self.rng,
+            self._apply, self.restore, self.horizon,
+        )
+
+    def _apply(self, window: FaultWindow) -> None:
+        if self.severity is not None:
+            window = FaultWindow(window.start, window.duration, self.severity)
+        self.windows_applied.increment()
+        self.apply(window)
+
+    # -- subclass surface ------------------------------------------------
+    def apply(self, window: FaultWindow) -> None:
+        raise NotImplementedError
+
+    def restore(self, window: FaultWindow) -> None:
+        """Default: nothing to undo (impulse faults like a forced crash)."""
+
+
+class ScheddCrashInjector(Injector):
+    """Force the schedd down at each window start (it restarts itself).
+
+    Models operational failures the FD feedback loop does not produce on
+    its own: OOM kills, power loss, administrative restarts.
+    """
+
+    name = "schedd-crash"
+
+    def __init__(self, engine, schedd, schedule, rng, **kwargs) -> None:
+        super().__init__(engine, schedule, rng, **kwargs)
+        self.schedd = schedd
+
+    def apply(self, window: FaultWindow) -> None:
+        if self.schedd.up:
+            self.schedd.crash()
+
+
+class FDSqueezeInjector(Injector):
+    """Pin descriptors for the window — an external process gone wild.
+
+    Takes ``min(severity, free)`` so the squeeze itself never raises; the
+    *schedd's* next allocation is what fails, exactly the paper's "prosaic
+    unmanaged resource" failure mode.
+    """
+
+    name = "fd-squeeze"
+
+    def __init__(self, engine, fdtable, schedule, rng, **kwargs) -> None:
+        super().__init__(engine, schedule, rng, **kwargs)
+        self.fdtable = fdtable
+        self._held = 0
+
+    def apply(self, window: FaultWindow) -> None:
+        want = int(window.severity)
+        got = min(want, self.fdtable.free)
+        if got > 0 and self.fdtable.allocate(got):
+            self._held = got
+
+    def restore(self, window: FaultWindow) -> None:
+        if self._held:
+            self.fdtable.release(self._held)
+            self._held = 0
+
+
+class EnospcInjector(Injector):
+    """Seize buffer megabytes for the window — a neighbour filling the
+    spool.  Producers see the shrunken free space through ``df`` and the
+    Ethernet estimator alike."""
+
+    name = "enospc"
+
+    def __init__(self, engine, buffer, schedule, rng, **kwargs) -> None:
+        super().__init__(engine, schedule, rng, **kwargs)
+        self.buffer = buffer
+        self._seized = 0.0
+
+    def apply(self, window: FaultWindow) -> None:
+        self._seized = self.buffer.seize(window.severity)
+
+    def restore(self, window: FaultWindow) -> None:
+        if self._seized > 0:
+            self.buffer.release_seized(self._seized)
+            self._seized = 0.0
+
+
+class SlowDiskInjector(Injector):
+    """Scale the file server's IO time by the window severity."""
+
+    name = "slow-disk"
+
+    def __init__(self, engine, disk, schedule, rng, **kwargs) -> None:
+        super().__init__(engine, schedule, rng, **kwargs)
+        self.disk = disk
+
+    def apply(self, window: FaultWindow) -> None:
+        self.disk.slowdown = max(window.severity, 1.0)
+
+    def restore(self, window: FaultWindow) -> None:
+        self.disk.slowdown = 1.0
+
+
+class HttpErrorInjector(Injector):
+    """5xx bursts: servers reset transfers partway through the window.
+
+    Severity is the fraction of the transfer served before the reset
+    (default 0.5) — wasted time on the single service slot for data
+    fetches, a near-instant failure for one-byte probes.  Black holes are
+    left alone; they are already a worse failure.
+    """
+
+    name = "http-5xx"
+
+    def __init__(self, engine, servers, schedule, rng, **kwargs) -> None:
+        if kwargs.get("severity") is None:
+            kwargs["severity"] = 0.5
+        super().__init__(engine, schedule, rng, **kwargs)
+        self.servers = [s for s in servers if not s.black_hole]
+
+    def apply(self, window: FaultWindow) -> None:
+        fraction = validate_fraction(
+            "http-5xx severity (reset fraction)", window.severity
+        )
+        for server in self.servers:
+            server.failing = True
+            server.reset_fraction = fraction
+
+    def restore(self, window: FaultWindow) -> None:
+        for server in self.servers:
+            server.failing = False
+
+
+class AcceptQueueInjector(Injector):
+    """Park ``severity`` bogus connections on every server's accept queue.
+
+    While the window is open the parked requests hold/queue on the
+    single-threaded accept loop, so real clients wait behind phantoms —
+    the saturation that makes carrier-sense probes pay off.
+    """
+
+    name = "accept-queue"
+
+    def __init__(self, engine, servers, schedule, rng, **kwargs) -> None:
+        super().__init__(engine, schedule, rng, **kwargs)
+        self.servers = list(servers)
+        self._held: list = []
+
+    def apply(self, window: FaultWindow) -> None:
+        per_server = max(int(window.severity), 1)
+        for server in self.servers:
+            for _ in range(per_server):
+                self._held.append((server, server.slot.request()))
+
+    def restore(self, window: FaultWindow) -> None:
+        for server, request in self._held:
+            server.slot.release(request)
+        self._held = []
+
+
+class WanPartitionInjector(Injector):
+    """Hard partitions of the wide-area link on a deterministic schedule.
+
+    Replaces the link's own random weather (configure the link with
+    outages disabled) so a campaign can place partitions exactly where it
+    wants them.
+    """
+
+    name = "wan-partition"
+
+    def __init__(self, engine, link, schedule, rng, **kwargs) -> None:
+        super().__init__(engine, schedule, rng, **kwargs)
+        self.link = link
+
+    def apply(self, window: FaultWindow) -> None:
+        self.link.fail("injected partition")
+
+    def restore(self, window: FaultWindow) -> None:
+        self.link.restore()
+
+
+class WorkerFlakyInjector(Injector):
+    """Raise every worker's mid-job failure probability for the window."""
+
+    name = "worker-flaky"
+
+    def __init__(self, engine, pool, schedule, rng, **kwargs) -> None:
+        super().__init__(engine, schedule, rng, **kwargs)
+        self.pool = pool
+        self._saved: list[float] = []
+
+    def apply(self, window: FaultWindow) -> None:
+        rate = validate_probability("worker-flaky severity", window.severity)
+        self._saved = [worker.failure_rate for worker in self.pool.workers]
+        for worker in self.pool.workers:
+            worker.failure_rate = rate
+
+    def restore(self, window: FaultWindow) -> None:
+        for worker, rate in zip(self.pool.workers, self._saved):
+            worker.failure_rate = rate
+        self._saved = []
+
+
+# ---------------------------------------------------------------------------
+# Resolution
+# ---------------------------------------------------------------------------
+
+def install_faults(
+    engine: Engine,
+    specs: Sequence[FaultSpec],
+    *,
+    streams,
+    horizon: float = UNBOUNDED,
+    schedd=None,
+    fdtable=None,
+    buffer=None,
+    servers: Optional[Iterable] = None,
+    link=None,
+    pool=None,
+) -> list[Injector]:
+    """Build and start one injector per spec against the given substrates.
+
+    Scenario harnesses pass the substrate objects their world actually
+    contains; a spec targeting something absent is a configuration error
+    and raises immediately.  Each injector draws from its own named
+    stream (``fault-<target>-<index>``) so fault timing never perturbs
+    client behaviour.  Returns the started injectors (their
+    ``windows_applied`` counters are useful post-run).
+    """
+    available = {
+        "schedd-crash": (schedd, lambda s, rng, kw: ScheddCrashInjector(
+            engine, schedd, s.schedule, rng, **kw)),
+        "fd-squeeze": (fdtable, lambda s, rng, kw: FDSqueezeInjector(
+            engine, fdtable, s.schedule, rng, **kw)),
+        "enospc": (buffer, lambda s, rng, kw: EnospcInjector(
+            engine, buffer, s.schedule, rng, **kw)),
+        "slow-disk": (buffer, lambda s, rng, kw: SlowDiskInjector(
+            engine, buffer.disk, s.schedule, rng, **kw)),
+        "http-5xx": (servers, lambda s, rng, kw: HttpErrorInjector(
+            engine, servers, s.schedule, rng, **kw)),
+        "accept-queue": (servers, lambda s, rng, kw: AcceptQueueInjector(
+            engine, servers, s.schedule, rng, **kw)),
+        "wan-partition": (link, lambda s, rng, kw: WanPartitionInjector(
+            engine, link, s.schedule, rng, **kw)),
+        "worker-flaky": (pool, lambda s, rng, kw: WorkerFlakyInjector(
+            engine, pool, s.schedule, rng, **kw)),
+    }
+    injectors: list[Injector] = []
+    for index, spec in enumerate(specs):
+        if spec.target not in available:
+            raise SimulationError(
+                f"fault target must be one of {sorted(available)}, "
+                f"got {spec.target!r}"
+            )
+        substrate, build = available[spec.target]
+        if substrate is None:
+            raise SimulationError(
+                f"fault target {spec.target!r} is not available in this "
+                "scenario (no matching substrate)"
+            )
+        rng = streams.stream(f"fault-{spec.target}-{index}")
+        injector = build(
+            spec, rng, {"severity": spec.severity, "horizon": horizon}
+        )
+        injector.start()
+        injectors.append(injector)
+    return injectors

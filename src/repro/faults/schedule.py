@@ -1,0 +1,328 @@
+"""Fault primitives: deterministic, seed-driven schedules of fault windows.
+
+A *window schedule* compiles to a sorted, non-overlapping sequence of
+:class:`FaultWindow` instances on the virtual clock.  Injectors (see
+:mod:`repro.faults.injectors`) turn each window into an ``apply`` at its
+start and a ``restore`` at its end, running as an ordinary simulation
+process — so fault timing composes with every other event in the run and
+is fully determined by the master seed.
+
+The primitives:
+
+* :class:`Burst`         — one window at a fixed time.
+* :class:`Periodic`      — a window every period, optional seeded jitter.
+* :class:`PoissonOutage` — exponential gaps and durations (the memoryless
+  "weather" process :class:`repro.grid.archive.WanLink` historically
+  hard-wired; it now delegates here).
+* :class:`Degradation`   — one episode whose severity ramps linearly
+  across contiguous steps (a disk getting slower, not a binary outage).
+* :class:`Flaky`         — *not* a window schedule: a per-event strike
+  probability, for faults attached to discrete actions (command spawns).
+
+Schedules are plain frozen dataclasses, so they are hashable, comparable
+and printable — a campaign cell's fault configuration is legible in a
+scorecard or a test failure.
+
+A small text grammar (``kind:key=value,...``) makes schedules expressible
+on a command line; see :func:`parse_schedule`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..core.errors import SimulationError
+from .config import (
+    validate_non_negative,
+    validate_positive,
+    validate_probability,
+)
+
+#: Horizon meaning "no bound": generators run until the caller stops.
+UNBOUNDED = float("inf")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultWindow:
+    """One contiguous interval during which a fault is active.
+
+    ``severity`` is interpreted by the injector: a slowdown factor, a
+    number of descriptors to pin, megabytes to seize — dimensionless here.
+    """
+
+    start: float
+    duration: float
+    severity: float = 1.0
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class FaultSchedule:
+    """Base class for window schedules (documentation anchor only)."""
+
+    def windows(
+        self, rng: random.Random, horizon: float = UNBOUNDED
+    ) -> Iterator[FaultWindow]:
+        """Yield windows with increasing, non-overlapping extents.
+
+        ``rng`` must be a dedicated named stream (see
+        :class:`repro.sim.rng.RandomStreams`) so that the schedule's draws
+        never perturb any other stochastic element of the run.  Windows
+        starting at or after ``horizon`` are not yielded.
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Burst(FaultSchedule):
+    """A single fault window: ``duration`` seconds starting ``at``."""
+
+    at: float
+    duration: float
+    severity: float = 1.0
+
+    def __post_init__(self) -> None:
+        validate_non_negative("Burst.at", self.at)
+        validate_positive("Burst.duration", self.duration)
+
+    def windows(
+        self, rng: random.Random, horizon: float = UNBOUNDED
+    ) -> Iterator[FaultWindow]:
+        if self.at < horizon:
+            yield FaultWindow(self.at, self.duration, self.severity)
+
+
+@dataclass(frozen=True, slots=True)
+class Periodic(FaultSchedule):
+    """A fault window every ``period`` seconds.
+
+    Each window opens at ``start + k * period (+ jitter)`` for
+    ``k = 0, 1, 2, ...``; jitter is drawn uniformly from ``[0, jitter]``
+    per window from the schedule's own stream.  ``duration + jitter``
+    must fit inside a period so windows can never overlap.
+    """
+
+    period: float
+    duration: float
+    start: float = 0.0
+    jitter: float = 0.0
+    severity: float = 1.0
+
+    def __post_init__(self) -> None:
+        validate_positive("Periodic.period", self.period)
+        validate_positive("Periodic.duration", self.duration)
+        validate_non_negative("Periodic.start", self.start)
+        validate_non_negative("Periodic.jitter", self.jitter)
+        if self.duration + self.jitter > self.period:
+            raise SimulationError(
+                "Periodic.duration + jitter must be <= period, got "
+                f"{self.duration} + {self.jitter} > {self.period}"
+            )
+
+    def windows(
+        self, rng: random.Random, horizon: float = UNBOUNDED
+    ) -> Iterator[FaultWindow]:
+        k = 0
+        while True:
+            opens = self.start + k * self.period
+            if self.jitter > 0:
+                opens += rng.uniform(0.0, self.jitter)
+            if opens >= horizon:
+                return
+            yield FaultWindow(opens, self.duration, self.severity)
+            k += 1
+
+
+@dataclass(frozen=True, slots=True)
+class PoissonOutage(FaultSchedule):
+    """Memoryless outages: exponential up-times and outage durations.
+
+    The classical "weather" process — the model the paper's Kangaroo
+    stage assumes for wide-area links.  ``mean_between`` is the mean
+    up-time separating outages; ``mean_duration`` the mean outage length.
+    """
+
+    mean_between: float
+    mean_duration: float
+    severity: float = 1.0
+
+    def __post_init__(self) -> None:
+        validate_positive("PoissonOutage.mean_between", self.mean_between)
+        validate_positive("PoissonOutage.mean_duration", self.mean_duration)
+
+    def windows(
+        self, rng: random.Random, horizon: float = UNBOUNDED
+    ) -> Iterator[FaultWindow]:
+        now = 0.0
+        while True:
+            now += rng.expovariate(1.0 / self.mean_between)
+            if now >= horizon:
+                return
+            duration = rng.expovariate(1.0 / self.mean_duration)
+            yield FaultWindow(now, duration, self.severity)
+            now += duration
+
+
+@dataclass(frozen=True, slots=True)
+class Degradation(FaultSchedule):
+    """One episode whose severity ramps linearly from ``severity_from``
+    to ``severity_to`` over ``steps`` contiguous windows.
+
+    Models progressive decay (a disk slowing as it retries sectors)
+    rather than a binary outage.  Injectors see a normal window sequence;
+    because the windows are contiguous, restore/apply pairs at the seams
+    are simultaneous and the observed level simply steps upward.
+    """
+
+    at: float
+    duration: float
+    severity_from: float = 1.0
+    severity_to: float = 4.0
+    steps: int = 4
+
+    def __post_init__(self) -> None:
+        validate_non_negative("Degradation.at", self.at)
+        validate_positive("Degradation.duration", self.duration)
+        if self.steps < 1:
+            raise SimulationError(
+                f"Degradation.steps must be >= 1, got {self.steps!r}"
+            )
+
+    def windows(
+        self, rng: random.Random, horizon: float = UNBOUNDED
+    ) -> Iterator[FaultWindow]:
+        if self.at >= horizon:
+            return
+        step_duration = self.duration / self.steps
+        for index in range(self.steps):
+            if self.steps == 1:
+                severity = self.severity_to
+            else:
+                fraction = index / (self.steps - 1)
+                severity = (
+                    self.severity_from
+                    + (self.severity_to - self.severity_from) * fraction
+                )
+            start = self.at + index * step_duration
+            if start >= horizon:
+                return
+            yield FaultWindow(start, step_duration, severity)
+
+
+@dataclass(frozen=True, slots=True)
+class Flaky:
+    """A per-event strike probability (not a window schedule).
+
+    Attached to discrete actions — a command spawn, a job execution — and
+    consulted once per action: ``strikes(rng)`` draws from the schedule's
+    dedicated stream and answers whether *this* occurrence faults.
+    """
+
+    probability: float
+
+    def __post_init__(self) -> None:
+        validate_probability("Flaky.probability", self.probability)
+
+    def strikes(self, rng: random.Random) -> bool:
+        return self.probability > 0 and rng.random() < self.probability
+
+
+# ---------------------------------------------------------------------------
+# Driving a schedule as a simulation process
+# ---------------------------------------------------------------------------
+
+def drive_schedule(
+    engine,
+    schedule: FaultSchedule,
+    rng: random.Random,
+    apply: Callable[[FaultWindow], None],
+    restore: Callable[[FaultWindow], None],
+    horizon: float = UNBOUNDED,
+):
+    """A process body: walk the schedule, calling ``apply``/``restore``.
+
+    Generic compilation of a window schedule onto the virtual clock; both
+    the injector layer and :class:`repro.grid.archive.WanLink`'s weather
+    use it.  The caller wraps this in ``engine.process(...)``.
+    """
+    for window in schedule.windows(rng, horizon):
+        delay = window.start - engine.now
+        if delay > 0:
+            yield engine.timeout(delay)
+        apply(window)
+        try:
+            yield engine.timeout(window.duration)
+        finally:
+            restore(window)
+
+
+# ---------------------------------------------------------------------------
+# Text grammar
+# ---------------------------------------------------------------------------
+
+_KINDS = {
+    "burst": (Burst, {"at", "duration", "severity"}),
+    "periodic": (Periodic, {"period", "duration", "start", "jitter", "severity"}),
+    "poisson": (PoissonOutage, {"between", "duration", "severity"}),
+    "degrade": (Degradation, {"at", "duration", "from", "to", "steps"}),
+    "flaky": (Flaky, {"p"}),
+}
+
+#: Grammar key -> dataclass field, where they differ.
+_ALIASES = {
+    "between": "mean_between",
+    "duration@poisson": "mean_duration",
+    "from": "severity_from",
+    "to": "severity_to",
+    "p": "probability",
+}
+
+
+def parse_schedule(text: str) -> FaultSchedule | Flaky:
+    """Parse ``kind:key=value,...`` into a schedule.
+
+    Examples::
+
+        burst:at=30,duration=20
+        periodic:period=60,duration=10,jitter=5
+        poisson:between=120,duration=30
+        degrade:at=10,duration=60,from=1,to=8,steps=4
+        flaky:p=0.25
+
+    Raises :class:`SimulationError` on unknown kinds/keys or bad values,
+    using the same message format as the validators.
+    """
+    kind, _, body = text.strip().partition(":")
+    kind = kind.strip().lower()
+    if kind not in _KINDS:
+        raise SimulationError(
+            f"fault schedule kind must be one of {sorted(_KINDS)}, got {kind!r}"
+        )
+    cls, allowed = _KINDS[kind]
+    kwargs: dict[str, float] = {}
+    if body.strip():
+        for item in body.split(","):
+            key, sep, value = item.partition("=")
+            key = key.strip().lower()
+            if not sep or key not in allowed:
+                raise SimulationError(
+                    f"fault schedule key for {kind!r} must be one of "
+                    f"{sorted(allowed)}, got {item.strip()!r}"
+                )
+            field = _ALIASES.get(f"{key}@{kind}", _ALIASES.get(key, key))
+            try:
+                number = float(value)
+            except ValueError:
+                raise SimulationError(
+                    f"fault schedule value for {key!r} must be a number, "
+                    f"got {value.strip()!r}"
+                ) from None
+            kwargs[field] = int(number) if field == "steps" else number
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise SimulationError(f"incomplete fault schedule {text!r}: {exc}") from None

@@ -23,7 +23,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..core.backoff import BackoffPolicy, BackoffState, PAPER_POLICY
-from ..core.errors import SimulationError
+from ..faults.config import validate_positive
+from ..faults.schedule import FaultSchedule, PoissonOutage, drive_schedule
 from ..sim.engine import Engine
 from ..sim.events import Interrupt
 from ..sim.monitor import Counter
@@ -54,35 +55,51 @@ class WanLink:
         engine: Engine,
         config: WanConfig | None = None,
         rng: Optional[random.Random] = None,
+        outages_schedule: Optional[FaultSchedule] = None,
     ) -> None:
         self.engine = engine
         self.config = config or WanConfig()
-        if self.config.bandwidth_mb_s <= 0:
-            raise SimulationError("wan bandwidth must be > 0")
-        self.rng = rng or random.Random(0)
+        validate_positive("wan bandwidth_mb_s", self.config.bandwidth_mb_s)
+        self.rng = rng if rng is not None else engine.streams.stream("wan")
         self.up = True
         self.outages = Counter(engine, "wan-outages")
         #: Transfers the link killed mid-stream.
         self.broken_transfers = Counter(engine, "wan-broken", keep_series=False)
         self._active: list = []  # processes currently transferring
-        if self.config.mean_time_between_outages > 0:
-            engine.process(self._weather(), name="wan-weather")
+        #: The weather: by default the memoryless outage process the
+        #: config describes, now expressed as a standard fault schedule.
+        #: Pass ``outages_schedule`` to pin outages deterministically, or
+        #: set ``mean_time_between_outages=0`` and drive the link from a
+        #: :class:`repro.faults.injectors.WanPartitionInjector` instead.
+        if outages_schedule is None and self.config.mean_time_between_outages > 0:
+            outages_schedule = PoissonOutage(
+                self.config.mean_time_between_outages,
+                self.config.mean_outage_duration,
+            )
+        if outages_schedule is not None:
+            engine.process(
+                drive_schedule(
+                    engine, outages_schedule, self.rng,
+                    lambda window: self.fail("wan outage"),
+                    lambda window: self.restore(),
+                ),
+                name="wan-weather",
+            )
 
-    def _weather(self):
-        config = self.config
-        while True:
-            yield self.engine.timeout(
-                self.rng.expovariate(1.0 / config.mean_time_between_outages)
-            )
-            self.up = False
-            self.outages.increment()
-            for process in list(self._active):
-                if process.is_alive:
-                    process.interrupt("wan outage")
-            yield self.engine.timeout(
-                self.rng.expovariate(1.0 / config.mean_outage_duration)
-            )
-            self.up = True
+    # -- failure hooks (also the injector surface) ----------------------
+    def fail(self, cause: str = "wan outage") -> None:
+        """Take the link down, killing transfers in flight; idempotent."""
+        if not self.up:
+            return
+        self.up = False
+        self.outages.increment()
+        for process in list(self._active):
+            if process.is_alive:
+                process.interrupt(cause)
+
+    def restore(self) -> None:
+        """Bring the link back up; idempotent."""
+        self.up = True
 
     def transfer(self, mb: float):
         """Move ``mb`` across the link; raises Interrupt on outage
@@ -121,9 +138,10 @@ class ArchiveUploader:
         self.buffer = buffer
         self.link = link
         self.policy = policy
-        self.rng = rng or random.Random(0)
-        self.poll = poll
         self.engine = buffer.engine
+        self.rng = (rng if rng is not None
+                    else self.engine.streams.stream("archive-uploader"))
+        self.poll = poll
         self.mb_delivered = 0.0
         self.files_delivered = Counter(self.engine, "files-delivered")
         self.upload_failures = Counter(self.engine, "upload-failures",

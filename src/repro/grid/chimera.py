@@ -204,7 +204,7 @@ class DagDispatcher:
         self.world = world
         self.dag = dag
         self.discipline = discipline
-        self.rng = rng or random.Random(0)
+        self.rng = rng if rng is not None else engine.streams.stream("dag-dispatcher")
         self.name = name
         self.max_inflight = max_inflight
         self.poll_interval = poll_interval

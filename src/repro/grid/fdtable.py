@@ -15,6 +15,7 @@ count the way Linux exposes it (``/proc/sys/fs/file-nr``); see
 from __future__ import annotations
 
 from ..core.errors import SimulationError
+from ..faults.config import validate_at_least, validate_non_negative
 from ..sim.engine import Engine
 from ..sim.monitor import TimeSeries
 
@@ -23,8 +24,7 @@ class FDTable:
     """System-wide file descriptor accounting."""
 
     def __init__(self, engine: Engine, capacity: int = 8192) -> None:
-        if capacity < 1:
-            raise SimulationError(f"fd capacity must be >= 1, got {capacity}")
+        validate_at_least("fd capacity", capacity, 1)
         self.engine = engine
         self.capacity = capacity
         self._used = 0
@@ -45,8 +45,7 @@ class FDTable:
 
     def allocate(self, count: int) -> bool:
         """Claim ``count`` descriptors now; False (EMFILE) if unavailable."""
-        if count < 0:
-            raise SimulationError(f"negative fd allocation: {count}")
+        validate_non_negative("fd allocation", count)
         if self._used + count > self.capacity:
             self.failures += 1
             return False
@@ -58,8 +57,7 @@ class FDTable:
 
     def release(self, count: int) -> None:
         """Return ``count`` descriptors."""
-        if count < 0:
-            raise SimulationError(f"negative fd release: {count}")
+        validate_non_negative("fd release", count)
         if count > self._used:
             raise SimulationError(
                 f"releasing {count} fds but only {self._used} are in use"

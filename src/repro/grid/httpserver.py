@@ -43,6 +43,17 @@ class ReplicaConfig:
     flag_size_mb: float = 1e-6            # the well-known one-byte file
     bandwidth_mb_s: float = 10.0          # 100 MB "takes about 10 seconds"
     connect_latency: float = 0.1
+    #: Opt-in load-dependent service degradation: when > 0, a transfer
+    #: slows by ``1 + waiting/degradation_connections`` — every queued
+    #: connection costs real server capacity (thread churn, memory
+    #: pressure), so hammering a degraded service hurts *everyone*.
+    #: 0 (the default) keeps the paper's load-independent servers.
+    degradation_connections: int = 0
+    #: Opt-in accept cost: server time burnt per accepted request before
+    #: any bytes move (fork/accept/TLS work).  Makes reconnect churn
+    #: consume real service capacity — the "every retry costs the shared
+    #: resource" mechanism of scenario 1, here for the file servers.
+    accept_overhead: float = 0.0
 
 
 class FileServer:
@@ -62,9 +73,24 @@ class FileServer:
         #: The accept loop: one transfer at a time, FIFO backlog.
         self.slot = Resource(engine, capacity=1)
         self.transfers = Counter(engine, f"{name}-transfers")
+        #: Fault hooks: while ``failing`` the server serves
+        #: ``reset_fraction`` of each request and then resets it (a 5xx
+        #: partway through the body).  Driven by
+        #: :class:`repro.faults.injectors.HttpErrorInjector`.
+        self.failing = False
+        self.reset_fraction = 0.5
+        self.resets = Counter(engine, f"{name}-resets", keep_series=False)
 
     def size_of(self, path: str) -> float:
         return self.config.flag_size_mb if path == "flag" else self.config.data_size_mb
+
+    def service_time(self, path: str) -> float:
+        """Time to serve ``path`` now, including load degradation."""
+        base = self.size_of(path) / self.config.bandwidth_mb_s
+        threshold = self.config.degradation_connections
+        if threshold > 0:
+            base *= 1.0 + len(self.slot.queue) / threshold
+        return base
 
 
 class ReplicaWorld:
@@ -139,7 +165,22 @@ def register_replica_commands(registry: CommandRegistry, world: ReplicaWorld) ->
                 # Connected, but no bytes will ever come.
                 yield engine.timeout(_FOREVER)
                 return 1  # pragma: no cover - only reachable by interrupt
-            yield engine.timeout(server.size_of(path) / config.bandwidth_mb_s)
+            if config.accept_overhead > 0:
+                yield engine.timeout(config.accept_overhead)
+            if server.failing:
+                # 5xx partway through the body: the service time spent is
+                # wasted on the single slot, and the fetch fails.
+                yield engine.timeout(
+                    server.service_time(path) * server.reset_fraction)
+                server.resets.increment()
+                if is_probe:
+                    world.deferrals.increment()
+                    world._m_deferrals.inc()
+                else:
+                    world.collisions.increment()
+                    world._m_collisions.inc()
+                return 1
+            yield engine.timeout(server.service_time(path))
             server.transfers.increment()
             if is_probe:
                 return 0

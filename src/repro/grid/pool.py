@@ -21,7 +21,12 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
-from ..core.errors import SimulationError
+from ..faults.config import (
+    validate_at_least,
+    validate_non_negative,
+    validate_positive,
+    validate_probability,
+)
 from ..sim.engine import Engine
 from ..sim.events import Event
 from ..sim.monitor import Counter
@@ -47,7 +52,7 @@ class Worker:
         self.name = name
         self.busy = False
         self.jobs_run = 0
-        self.failure_rate = failure_rate
+        self.failure_rate = validate_probability("failure_rate", failure_rate)
 
 
 class WorkerPool:
@@ -67,13 +72,12 @@ class WorkerPool:
         failure_rate: float = 0.0,
         rng: Optional[random.Random] = None,
     ) -> None:
-        if n_workers < 1:
-            raise SimulationError(f"need >= 1 worker, got {n_workers}")
-        if not (0.0 <= failure_rate < 1.0):
-            raise SimulationError(f"failure rate must be in [0, 1), got {failure_rate}")
+        validate_at_least("n_workers", n_workers, 1)
+        validate_probability("failure_rate", failure_rate)
+        validate_positive("negotiation_interval", negotiation_interval)
         self.engine = engine
         self.negotiation_interval = negotiation_interval
-        self.rng = rng or random.Random(0)
+        self.rng = rng if rng is not None else engine.streams.stream("worker-pool")
         self.workers = [
             Worker(f"worker-{i}", failure_rate) for i in range(n_workers)
         ]
@@ -94,8 +98,7 @@ class WorkerPool:
 
     def submit(self, exec_time: float) -> Job:
         """Queue a job; its ``done`` event fires on completion."""
-        if exec_time < 0:
-            raise SimulationError(f"negative exec time: {exec_time}")
+        validate_non_negative("exec_time", exec_time)
         job = Job(id=next(self._ids), exec_time=exec_time,
                   done=Event(self.engine))
         self.queue.append(job)

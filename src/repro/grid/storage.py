@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from ..core.errors import SimulationError
+from ..faults.config import validate_non_negative, validate_positive
 from ..obs.api import NULL_OBS
 from ..sim.engine import Engine
 from ..sim.events import Interrupt
@@ -72,10 +73,12 @@ class DiskIO:
     """
 
     def __init__(self, engine: Engine, rate_mb_s: float) -> None:
-        if rate_mb_s <= 0:
-            raise SimulationError(f"disk rate must be > 0, got {rate_mb_s}")
+        validate_positive("disk rate_mb_s", rate_mb_s)
         self.engine = engine
         self.rate_mb_s = rate_mb_s
+        #: Degradation hook: IO takes ``slowdown`` times longer while a
+        #: :class:`repro.faults.injectors.SlowDiskInjector` window is open.
+        self.slowdown = 1.0
         self._queue = Resource(engine, capacity=1)
 
     def io(self, mb: float):
@@ -83,7 +86,7 @@ class DiskIO:
         request = self._queue.request()
         try:
             yield request
-            yield self.engine.timeout(mb / self.rate_mb_s)
+            yield self.engine.timeout(mb / self.rate_mb_s * self.slowdown)
         finally:
             self._queue.release(request)
 
@@ -102,6 +105,9 @@ class SharedBuffer:
         self.disk = DiskIO(engine, self.config.disk_rate_mb_s)
         self.files: dict[str, BufferFile] = {}
         self._used = 0.0
+        #: Space taken by a fault injector (a noisy neighbour filling the
+        #: spool); counts against capacity exactly like written bytes.
+        self.seized_mb = 0.0
         self._done_order: list[str] = []
         self.collisions = Counter(engine, "collisions")
         self.files_consumed = Counter(engine, "files-consumed")
@@ -142,7 +148,7 @@ class SharedBuffer:
     @property
     def free_mb(self) -> float:
         """What ``df`` reports: raw free space, partial files included."""
-        return self.config.capacity_mb - self._used
+        return self.config.capacity_mb - self._used - self.seized_mb
 
     def incomplete_count(self) -> int:
         return sum(1 for f in self.files.values() if not f.complete)
@@ -180,7 +186,7 @@ class SharedBuffer:
         """Append ``chunk_mb``; False = ENOSPC (caller must delete)."""
         if entry.name not in self.files:
             raise SimulationError(f"grow() on deleted file {entry.name}")
-        if self._used + chunk_mb > self.config.capacity_mb:
+        if self._used + self.seized_mb + chunk_mb > self.config.capacity_mb:
             return False
         self._used += chunk_mb
         entry.size_mb += chunk_mb
@@ -214,9 +220,8 @@ class SharedBuffer:
         Reserved space counts as used immediately — that is the whole
         point of a reservation: nobody else can take it.
         """
-        if mb < 0:
-            raise SimulationError(f"negative reservation: {mb}")
-        if self._used + mb > self.config.capacity_mb:
+        validate_non_negative("reservation mb", mb)
+        if self._used + self.seized_mb + mb > self.config.capacity_mb:
             self.reservations_denied.increment()
             self._m_denied.inc()
             return False
@@ -250,6 +255,25 @@ class SharedBuffer:
 
     def total_reserved(self) -> float:
         return sum(self.reservations.values())
+
+    # -- fault hooks (ENOSPC pressure from outside the scenario) ------------
+    def seize(self, mb: float) -> float:
+        """Take up to ``mb`` off the free pool; returns what was taken.
+
+        The hook behind :class:`repro.faults.injectors.EnospcInjector`:
+        clamped to the currently free space so seizing never corrupts
+        accounting, and visible to ``df`` and the Ethernet estimator
+        exactly like any other resident bytes.
+        """
+        taken = min(max(self.free_mb, 0.0), max(mb, 0.0))
+        self.seized_mb += taken
+        self._note()
+        return taken
+
+    def release_seized(self, mb: float) -> None:
+        """Return previously seized space to the free pool."""
+        self.seized_mb = max(self.seized_mb - mb, 0.0)
+        self._note()
 
     # -- consumer API -------------------------------------------------------
     def oldest_done(self) -> Optional[BufferFile]:

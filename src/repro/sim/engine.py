@@ -20,6 +20,7 @@ from typing import Any, Optional
 from ..core.errors import SimulationError
 from .events import AllOf, AnyOf, Event, Timeout
 from .process import Process, ProcessGenerator
+from .rng import RandomStreams
 
 #: Ordinary event priority; interrupts use :data:`PRIORITY_URGENT`.
 PRIORITY_NORMAL = 1
@@ -32,12 +33,21 @@ INFINITY = float("inf")
 class Engine:
     """Owns the virtual clock and runs events in time order."""
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
         self._now = start_time
         self._queue: list[tuple[float, int, int, Event]] = []
         self._sequence = 0
         #: The process currently executing (for self-interrupt detection).
         self.active_process: Optional[Process] = None
+        #: Named random streams shared by everything attached to this
+        #: engine.  Substrates that need stochastic behaviour default to
+        #: a stream named after themselves, so one master seed fully
+        #: determines a run even when callers pass no explicit rng.
+        self.streams = streams if streams is not None else RandomStreams(0)
 
     @property
     def now(self) -> float:

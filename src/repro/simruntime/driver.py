@@ -57,7 +57,11 @@ class SimDriver:
         self.engine = engine
         self.registry = registry
         self.world = world
-        self.rng = rng or random.Random(0)
+        # Default to a named stream off the engine's master seed so a
+        # driver constructed without an explicit rng is still part of the
+        # one-seed-determines-everything contract.
+        self.rng = (rng if rng is not None
+                    else engine.streams.stream(f"sim-driver-{client or 'anon'}"))
         self.client = client
         #: Cap on simultaneously running ``forall`` branches (paper §4's
         #: process-creation governor).  None = unlimited.

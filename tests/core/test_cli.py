@@ -148,3 +148,35 @@ class TestObservabilityFlags:
     def test_no_flags_no_obs_overhead(self, tmp_path):
         # without any obs flag the run must not instantiate telemetry
         assert main(["-c", "sh -c 'exit 0'"]) == 0
+
+
+class TestFaultInjection:
+    def test_injected_eperm_fails_matching_command(self, tmp_path):
+        marker = tmp_path / "ran"
+        code = main(["--inject-fault", "touch:eperm",
+                     "-c", f"try 1 times\n  touch {marker}\nend"])
+        assert code == 1
+        assert not marker.exists()
+
+    def test_unmatched_command_unaffected(self, tmp_path):
+        marker = tmp_path / "ran"
+        code = main(["--inject-fault", "wget:eperm",
+                     "-c", f"touch {marker}"])
+        assert code == 0
+        assert marker.exists()
+
+    def test_bad_spec_is_usage_error(self, capsys):
+        code = main(["--inject-fault", "nonsense", "-c", "sh -c 'exit 0'"])
+        assert code == 2
+        assert "bad --inject-fault" in capsys.readouterr().err
+
+    def test_flaky_fault_seed_reproducible(self, tmp_path):
+        # With p=0.5 and a fixed seed, the verdict sequence is a pure
+        # function of --fault-seed: the same invocation twice agrees.
+        script = "try 1 times\n  sh -c 'exit 0'\nend"
+        codes = [
+            main(["--inject-fault", "sh:kill:flaky:p=0.5",
+                  "--fault-seed", "7", "-c", script])
+            for _ in range(2)
+        ]
+        assert codes[0] == codes[1]

@@ -1,0 +1,143 @@
+"""The chaos campaign: cell metrics, ordering check, determinism."""
+
+import pytest
+
+from repro.experiments.chaos import (
+    FAULT_CLASSES,
+    SCALES,
+    ChaosCell,
+    ChaosScale,
+    check_ordering,
+    recovery_time,
+    render_scorecard,
+    run_chaos_campaign,
+    starvation_events,
+)
+from repro.faults.schedule import FaultWindow
+from repro.sim.monitor import TimeSeries
+
+
+def series_at(times):
+    series = TimeSeries("s")
+    for index, t in enumerate(times):
+        series.record(t, float(index + 1))
+    return series
+
+
+WINDOWS = [FaultWindow(40.0, 20.0)]
+
+
+class TestRecoveryTime:
+    def test_no_windows_means_zero(self):
+        assert recovery_time(series_at([1.0, 2.0]), [], 100.0) == 0.0
+
+    def test_gap_after_last_window(self):
+        # Last window ends at 60; first mark after that is 72.
+        series = series_at([10.0, 30.0, 72.0, 80.0])
+        assert recovery_time(series, WINDOWS, 100.0) == pytest.approx(12.0)
+
+    def test_never_recovers(self):
+        series = series_at([10.0, 30.0])
+        assert recovery_time(series, WINDOWS, 100.0) == float("inf")
+
+    def test_window_clamped_to_horizon(self):
+        windows = [FaultWindow(90.0, 50.0)]  # runs past the horizon
+        series = series_at([95.0, 99.0])
+        assert recovery_time(series, windows, 100.0) == float("inf")
+
+
+class TestStarvation:
+    def test_no_windows_means_zero(self):
+        assert starvation_events(series_at([1.0]), [], 100.0, 5.0) == 0
+
+    def test_counts_long_gaps_from_first_fault(self):
+        # Faults start at 40; gaps: 40->41 (ok), 41->60 (starved),
+        # 60->65 (ok), 65->100 tail (starved).
+        series = series_at([5.0, 41.0, 60.0, 65.0])
+        assert starvation_events(series, WINDOWS, 100.0, 10.0) == 2
+
+    def test_pre_fault_gaps_ignored(self):
+        series = series_at([1.0, 39.0, 45.0, 50.0, 55.0, 60.0, 95.0, 99.0])
+        # The 1->39 gap predates the fault; 60->95 counts.
+        assert starvation_events(series, WINDOWS, 100.0, 20.0) == 1
+
+
+def cell(fault, discipline, goodput, intensity=3):
+    return ChaosCell(fault=fault, scenario="x", intensity=intensity,
+                     discipline=discipline, goodput=goodput,
+                     retained=1.0, recovery=0.0, starvation=0)
+
+
+class TestCheckOrdering:
+    def test_holds(self):
+        cells = [cell(fc.name, d, g)
+                 for fc in FAULT_CLASSES
+                 for d, g in (("fixed", 1.0), ("aloha", 2.0), ("ethernet", 3.0))]
+        assert check_ordering(cells, 3) == []
+
+    def test_ties_allowed(self):
+        cells = [cell(fc.name, d, 5.0)
+                 for fc in FAULT_CLASSES
+                 for d in ("fixed", "aloha", "ethernet")]
+        assert check_ordering(cells, 3) == []
+
+    def test_violation_named(self):
+        name = FAULT_CLASSES[0].name
+        cells = [cell(name, "fixed", 9.0), cell(name, "aloha", 2.0),
+                 cell(name, "ethernet", 3.0)]
+        violations = check_ordering(cells, 3)
+        assert len(violations) == 1
+        assert name in violations[0]
+
+    def test_other_intensities_ignored(self):
+        name = FAULT_CLASSES[0].name
+        cells = [cell(name, "fixed", 9.0, intensity=1),
+                 cell(name, "aloha", 2.0, intensity=1),
+                 cell(name, "ethernet", 3.0, intensity=1)]
+        assert check_ordering(cells, 3) == []
+
+
+#: A miniature sweep: every fault class exercised, seconds of wall time.
+TINY = ChaosScale(
+    "tiny", levels=(3,),
+    submit_clients=30, submit_duration=30.0,
+    buffer_producers=5, buffer_duration=20.0,
+    replica_clients=3, replica_duration=120.0,
+    kangaroo_producers=5, kangaroo_duration=60.0,
+)
+
+
+class TestCampaign:
+    def test_same_seed_identical_report(self):
+        first = run_chaos_campaign(TINY, seed=11)
+        second = run_chaos_campaign(TINY, seed=11)
+        assert first == second
+        assert render_scorecard(first) == render_scorecard(second)
+
+    def test_covers_every_class_and_discipline(self):
+        report = run_chaos_campaign(TINY, seed=11)
+        seen = {(c.fault, c.intensity, c.discipline) for c in report.cells}
+        for fault_class in FAULT_CLASSES:
+            for discipline in ("fixed", "aloha", "ethernet"):
+                assert (fault_class.name, 0, discipline) in seen
+                assert (fault_class.name, 3, discipline) in seen
+
+    def test_baselines_fully_retained(self):
+        report = run_chaos_campaign(TINY, seed=11)
+        for c in report.cells:
+            if c.intensity == 0:
+                assert c.retained == 1.0
+                assert c.starvation == 0
+
+    def test_scorecard_renders_every_cell(self):
+        report = run_chaos_campaign(TINY, seed=11)
+        text = render_scorecard(report)
+        assert text.count("\n") >= len(report.cells)
+        assert "seed=11" in text
+
+    @pytest.mark.slow
+    def test_smoke_scale_ordering_holds(self):
+        """The acceptance claim: at smoke scale with the default seed the
+        ordering holds for every fault class at the highest intensity."""
+        report = run_chaos_campaign(SCALES["smoke"], seed=2003)
+        assert report.violations == ()

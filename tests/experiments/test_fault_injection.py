@@ -1,0 +1,111 @@
+"""Scenario harnesses under injected faults (scenario_dag, scenario_kangaroo).
+
+The campaign sweeps these at scale; here we pin the per-harness
+contracts: faults degrade the right metric, leave recovery visible, and
+the same seed reproduces the same faulted run exactly.
+"""
+
+from repro.clients.base import ALOHA, ETHERNET
+from repro.experiments.scenario_dag import DagParams, run_dag_scenario
+from repro.experiments.scenario_kangaroo import KangarooParams, run_kangaroo
+from repro.faults.injectors import FaultSpec
+from repro.faults.schedule import Burst, Periodic
+from repro.grid.archive import WanConfig
+
+
+def small_dag(discipline, faults=(), **overrides):
+    params = dict(
+        discipline=discipline,
+        n_users=2,
+        layers=2,
+        width=4,
+        exec_time_range=(5.0, 10.0),
+        horizon=7200.0,
+        faults=faults,
+    )
+    params.update(overrides)
+    return run_dag_scenario(DagParams(**params))
+
+
+class TestDagUnderFaults:
+    def test_schedd_crash_slows_but_does_not_stop_workflow(self):
+        clean = small_dag(ETHERNET)
+        hurt = small_dag(ETHERNET, faults=(
+            FaultSpec("schedd-crash", Burst(at=2.0, duration=1.0)),))
+        assert hurt.all_finished
+        assert hurt.tasks_done == hurt.tasks_total
+        assert hurt.crashes >= clean.crashes + 1
+        assert hurt.makespan > clean.makespan
+
+    def test_fd_squeeze_crashes_schedd_and_costs_time(self):
+        clean = small_dag(ALOHA, n_users=4, width=8)
+        hurt = small_dag(ALOHA, n_users=4, width=8, faults=(
+            FaultSpec("fd-squeeze", Burst(at=2.0, duration=30.0),
+                      severity=8192),))
+        assert clean.crashes == 0
+        assert hurt.all_finished
+        assert hurt.crashes >= 1  # the squeezed table broke the schedd
+        assert hurt.makespan > clean.makespan
+
+    def test_worker_flaky_requeues_jobs(self):
+        hurt = small_dag(ETHERNET, pool_workers=4, faults=(
+            FaultSpec("worker-flaky", Burst(at=0.0, duration=600.0),
+                      severity=0.4),))
+        assert hurt.all_finished
+        assert hurt.jobs_requeued > 0
+
+    def test_deterministic_given_seed(self):
+        faults = (FaultSpec("schedd-crash", Burst(at=20.0, duration=1.0)),)
+        first = small_dag(ALOHA, faults=faults, seed=6)
+        second = small_dag(ALOHA, faults=faults, seed=6)
+        assert first.makespan == second.makespan
+        assert first.submissions_attempted == second.submissions_attempted
+
+
+def small_kangaroo(discipline, faults=(), **overrides):
+    params = dict(
+        discipline=discipline,
+        n_producers=5,
+        duration=120.0,
+        wan=WanConfig(mean_time_between_outages=0.0),  # campaign-style
+        faults=faults,
+    )
+    params.update(overrides)
+    return run_kangaroo(KangarooParams(**params))
+
+
+class TestKangarooUnderFaults:
+    def test_partition_costs_delivery(self):
+        clean = small_kangaroo(ETHERNET)
+        hurt = small_kangaroo(ETHERNET, faults=(
+            FaultSpec("wan-partition",
+                      Periodic(period=40.0, duration=20.0, start=10.0)),))
+        assert clean.wan_outages == 0
+        assert hurt.wan_outages == 3
+        assert hurt.mb_delivered < clean.mb_delivered
+
+    def test_partition_recovery_visible_in_series(self):
+        hurt = small_kangaroo(ETHERNET, faults=(
+            FaultSpec("wan-partition", Burst(at=30.0, duration=30.0)),))
+        times = hurt.delivered_series.times
+        # Delivery happens both before the partition and after it lifts.
+        assert any(t < 30.0 for t in times)
+        assert any(t > 60.0 for t in times)
+
+    def test_enospc_collides_producers(self):
+        clean = small_kangaroo(ALOHA, n_producers=10)
+        hurt = small_kangaroo(ALOHA, n_producers=10, faults=(
+            FaultSpec("enospc",
+                      Periodic(period=60.0, duration=25.0, start=10.0),
+                      severity=clean.params.buffer.capacity_mb),))
+        # Writes into the seized buffer fail; delivery itself survives
+        # because the uploader drains the backlog during the windows.
+        assert hurt.collisions > clean.collisions
+
+    def test_deterministic_given_seed(self):
+        faults = (FaultSpec("wan-partition", Burst(at=30.0, duration=30.0)),)
+        first = small_kangaroo(ALOHA, faults=faults, seed=8)
+        second = small_kangaroo(ALOHA, faults=faults, seed=8)
+        assert first.mb_delivered == second.mb_delivered
+        assert list(first.delivered_series.times) == list(
+            second.delivered_series.times)

@@ -1,0 +1,71 @@
+"""The central validators: one bound check, one message format."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.faults.config import (
+    validate_at_least,
+    validate_fraction,
+    validate_non_negative,
+    validate_positive,
+    validate_probability,
+)
+
+
+class TestBounds:
+    def test_probability_accepts_half_open_interval(self):
+        assert validate_probability("p", 0.0) == 0.0
+        assert validate_probability("p", 0.999) == 0.999
+
+    def test_probability_rejects_certain_failure(self):
+        # p == 1.0 would turn every retry loop into an infinite loop.
+        with pytest.raises(SimulationError):
+            validate_probability("p", 1.0)
+        with pytest.raises(SimulationError):
+            validate_probability("p", -0.1)
+
+    def test_fraction_is_closed(self):
+        assert validate_fraction("f", 0.0) == 0.0
+        assert validate_fraction("f", 1.0) == 1.0
+        with pytest.raises(SimulationError):
+            validate_fraction("f", 1.01)
+
+    def test_positive(self):
+        assert validate_positive("rate", 0.5) == 0.5
+        with pytest.raises(SimulationError):
+            validate_positive("rate", 0.0)
+
+    def test_non_negative(self):
+        assert validate_non_negative("mb", 0.0) == 0.0
+        with pytest.raises(SimulationError):
+            validate_non_negative("mb", -1.0)
+
+    def test_at_least(self):
+        assert validate_at_least("workers", 3, 1) == 3
+        with pytest.raises(SimulationError):
+            validate_at_least("workers", 0, 1)
+
+
+class TestMessageFormat:
+    """Every validator speaks the same sentence."""
+
+    def test_shape_is_name_constraint_value(self):
+        cases = [
+            (lambda: validate_probability("worker rate", 2.0),
+             "worker rate must be in [0, 1), got 2.0"),
+            (lambda: validate_fraction("reset point", -1),
+             "reset point must be in [0, 1], got -1"),
+            (lambda: validate_positive("period", 0),
+             "period must be > 0, got 0"),
+            (lambda: validate_non_negative("start", -3.5),
+             "start must be >= 0, got -3.5"),
+            (lambda: validate_at_least("fd capacity", 0, 1),
+             "fd capacity must be >= 1, got 0"),
+        ]
+        for trigger, message in cases:
+            with pytest.raises(SimulationError, match="must be"):
+                trigger()
+            try:
+                trigger()
+            except SimulationError as exc:
+                assert str(exc) == message

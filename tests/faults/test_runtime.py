@@ -1,0 +1,169 @@
+"""Command-level faults: the sans-IO shim both runtimes share."""
+
+import pytest
+
+from repro.core import Ftsh
+from repro.core.backoff import NO_BACKOFF
+from repro.core.errors import SimulationError
+from repro.faults.runtime import (
+    CommandFault,
+    CommandFaultPlan,
+    always_schedule,
+    apply_command_faults,
+    make_faulting_real_driver,
+    parse_command_fault,
+)
+from repro.faults.schedule import Burst, Flaky
+from repro.sim.engine import Engine
+from repro.simruntime.registry import CommandRegistry
+from repro.simruntime.shell import SimFtsh
+
+
+class TestCommandFault:
+    def test_kind_validated(self):
+        with pytest.raises(SimulationError, match="kind must be one of"):
+            CommandFault("wget", "segfault", Flaky(0.5))
+
+    def test_delay_kind_needs_positive_delay(self):
+        with pytest.raises(SimulationError):
+            CommandFault("wget", "delay", Flaky(0.5))
+
+    def test_matching(self):
+        fault = CommandFault("wget", "kill", Flaky(0.5))
+        assert fault.matches(["wget", "http://xxx/data"])
+        assert not fault.matches(["curl"])
+        assert not fault.matches([])
+        assert CommandFault("*", "kill", Flaky(0.5)).matches(["anything"])
+
+
+class TestCommandFaultPlan:
+    def test_window_verdicts_by_time(self):
+        plan = CommandFaultPlan(
+            [CommandFault("wget", "eperm", Burst(at=10.0, duration=5.0))]
+        )
+        assert plan.verdict(["wget"], 9.9) is None
+        assert plan.verdict(["wget"], 12.0) is not None
+        assert plan.verdict(["wget"], 15.0) is None  # half-open window
+        assert plan.verdict(["curl"], 12.0) is None
+
+    def test_flaky_draws_only_on_match(self):
+        """Unrelated commands never advance the flaky sequence."""
+        strikes = []
+        for noise in (0, 50):
+            plan = CommandFaultPlan(
+                [CommandFault("wget", "kill", Flaky(0.5))], seed=9)
+            for _ in range(noise):
+                plan.verdict(["curl"], 0.0)
+            strikes.append(
+                [plan.verdict(["wget"], 0.0) is not None for _ in range(20)])
+        assert strikes[0] == strikes[1]
+
+    def test_faulted_results(self):
+        plan = CommandFaultPlan([])
+        eperm = plan.faulted_result(CommandFault("x", "eperm", Flaky(0.5)))
+        killed = plan.faulted_result(CommandFault("x", "kill", Flaky(0.5)))
+        assert eperm.exit_code == 126
+        assert killed.exit_code == -1
+
+
+class TestGrammar:
+    def test_parses_examples(self):
+        fault = parse_command_fault("condor_submit:eperm:flaky:p=0.5")
+        assert fault.command == "condor_submit"
+        assert fault.kind == "eperm"
+        assert fault.when == Flaky(0.5)
+
+        fault = parse_command_fault("wget:kill:burst:at=10,duration=30")
+        assert fault.when == Burst(10.0, 30.0)
+
+        fault = parse_command_fault("sleep:delay:flaky:p=0.9:delay=2.5")
+        assert fault.kind == "delay"
+        assert fault.delay == 2.5
+
+    def test_no_schedule_means_every_spawn(self):
+        fault = parse_command_fault("wget:kill")
+        assert fault.when == always_schedule()
+
+    def test_rejects_malformed(self):
+        with pytest.raises(SimulationError, match="COMMAND:KIND"):
+            parse_command_fault("wget")
+        with pytest.raises(SimulationError, match="delay must be a number"):
+            parse_command_fault("wget:delay:delay=soon")
+
+
+class TestSimulationSide:
+    def run_script(self, script, faults, duration=100.0):
+        engine = Engine()
+        registry = CommandRegistry()
+        apply_command_faults(registry, CommandFaultPlan(faults, horizon=duration))
+        shell = SimFtsh(engine, registry, policy=NO_BACKOFF)
+        process = shell.spawn(script, timeout=duration)
+        engine.run(until=duration)
+        return process.value
+
+    def test_eperm_fails_matching_command(self):
+        result = self.run_script(
+            "try 1 times\n  echo ok\nend",
+            [CommandFault("echo", "eperm", always_schedule())],
+        )
+        assert not result.success
+
+    def test_unmatched_commands_unaffected(self):
+        result = self.run_script(
+            "true",
+            [CommandFault("echo", "eperm", always_schedule())],
+        )
+        assert result.success
+
+    def test_window_gates_the_fault(self):
+        # Window opens at t=50; a command at t=0 is untouched.
+        result = self.run_script(
+            "true",
+            [CommandFault("true", "kill", Burst(at=50.0, duration=10.0))],
+        )
+        assert result.success
+
+    def test_delay_stalls_command(self):
+        engine = Engine()
+        registry = CommandRegistry()
+        plan = CommandFaultPlan(
+            [CommandFault("true", "delay", always_schedule(), delay=7.5)])
+        apply_command_faults(registry, plan)
+        shell = SimFtsh(engine, registry, policy=NO_BACKOFF)
+        process = shell.spawn("true", timeout=100.0)
+        engine.run(until=100.0)
+        assert process.value.success
+        assert engine.now >= 7.5
+
+
+class TestRealSide:
+    def test_eperm_blocks_real_command(self, tmp_path):
+        marker = tmp_path / "ran"
+        plan = CommandFaultPlan(
+            [CommandFault("touch", "eperm", always_schedule())])
+        shell = Ftsh(driver=make_faulting_real_driver(plan, term_grace=0.2),
+                     policy=NO_BACKOFF)
+        result = shell.run(f"try 1 times\n  touch {marker}\nend")
+        assert not result.success
+        assert not marker.exists()  # the command never actually ran
+
+    def test_unmatched_real_command_runs(self, tmp_path):
+        marker = tmp_path / "ran"
+        plan = CommandFaultPlan(
+            [CommandFault("rm", "eperm", always_schedule())])
+        shell = Ftsh(driver=make_faulting_real_driver(plan, term_grace=0.2),
+                     policy=NO_BACKOFF)
+        assert shell.run(f"touch {marker}").success
+        assert marker.exists()
+
+    def test_differential_flaky_verdicts(self):
+        """The same plan seed produces the same strike sequence that the
+        simulation side saw — the sans-IO property."""
+        verdicts = []
+        for _ in range(2):
+            plan = CommandFaultPlan(
+                [CommandFault("wget", "kill", Flaky(0.5))], seed=2003)
+            verdicts.append(
+                [plan.verdict(["wget"], float(t)) is not None
+                 for t in range(30)])
+        assert verdicts[0] == verdicts[1]

@@ -1,0 +1,161 @@
+"""Fault schedule primitives: windows, validation, driving, the grammar."""
+
+import random
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.faults.schedule import (
+    Burst,
+    Degradation,
+    FaultWindow,
+    Flaky,
+    Periodic,
+    PoissonOutage,
+    drive_schedule,
+    parse_schedule,
+)
+from repro.sim.engine import Engine
+
+
+def windows_of(schedule, horizon, seed=0):
+    return list(schedule.windows(random.Random(seed), horizon))
+
+
+class TestBurst:
+    def test_single_window(self):
+        assert windows_of(Burst(at=30.0, duration=20.0), 100.0) == [
+            FaultWindow(30.0, 20.0, 1.0)
+        ]
+
+    def test_horizon_excludes(self):
+        assert windows_of(Burst(at=30.0, duration=20.0), 30.0) == []
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            Burst(at=-1.0, duration=5.0)
+        with pytest.raises(SimulationError):
+            Burst(at=0.0, duration=0.0)
+
+
+class TestPeriodic:
+    def test_jitter_free_positions_are_analytic(self):
+        schedule = Periodic(period=60.0, duration=10.0, start=12.0)
+        assert [w.start for w in windows_of(schedule, 200.0)] == [
+            12.0, 72.0, 132.0, 192.0
+        ]
+
+    def test_jitter_bounded_and_non_overlapping(self):
+        schedule = Periodic(period=60.0, duration=10.0, jitter=40.0)
+        got = windows_of(schedule, 600.0, seed=7)
+        for k, window in enumerate(got):
+            assert k * 60.0 <= window.start <= k * 60.0 + 40.0
+        for left, right in zip(got, got[1:]):
+            assert left.end <= right.start
+
+    def test_duration_plus_jitter_must_fit_period(self):
+        with pytest.raises(SimulationError, match="period"):
+            Periodic(period=60.0, duration=30.0, jitter=31.0)
+
+
+class TestPoissonOutage:
+    def test_windows_do_not_overlap(self):
+        got = windows_of(PoissonOutage(50.0, 20.0), 10_000.0, seed=3)
+        assert len(got) > 10
+        for left, right in zip(got, got[1:]):
+            assert left.end <= right.start
+
+    def test_same_stream_same_windows(self):
+        schedule = PoissonOutage(50.0, 20.0)
+        assert windows_of(schedule, 1000.0, seed=5) == windows_of(
+            schedule, 1000.0, seed=5
+        )
+
+
+class TestDegradation:
+    def test_contiguous_linear_ramp(self):
+        schedule = Degradation(at=10.0, duration=40.0,
+                               severity_from=1.0, severity_to=4.0, steps=4)
+        got = windows_of(schedule, 1000.0)
+        assert [w.start for w in got] == [10.0, 20.0, 30.0, 40.0]
+        assert [w.severity for w in got] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_single_step_uses_target_severity(self):
+        got = windows_of(Degradation(at=0.0, duration=10.0, severity_to=8.0,
+                                     steps=1), 100.0)
+        assert [w.severity for w in got] == [8.0]
+
+    def test_steps_validated(self):
+        with pytest.raises(SimulationError):
+            Degradation(at=0.0, duration=10.0, steps=0)
+
+
+class TestFlaky:
+    def test_zero_probability_never_strikes(self):
+        flaky = Flaky(0.0)
+        rng = random.Random(1)
+        assert not any(flaky.strikes(rng) for _ in range(100))
+
+    def test_strike_rate_tracks_probability(self):
+        flaky = Flaky(0.25)
+        rng = random.Random(1)
+        hits = sum(flaky.strikes(rng) for _ in range(4000))
+        assert 800 < hits < 1200
+
+    def test_certain_failure_rejected(self):
+        with pytest.raises(SimulationError):
+            Flaky(1.0)
+
+
+class TestDriveSchedule:
+    def test_apply_restore_at_window_edges(self):
+        engine = Engine()
+        seen = []
+        schedule = Periodic(period=50.0, duration=10.0, start=5.0)
+        engine.process(drive_schedule(
+            engine, schedule, random.Random(0),
+            apply=lambda w: seen.append(("on", engine.now, w.severity)),
+            restore=lambda w: seen.append(("off", engine.now, w.severity)),
+            horizon=120.0,
+        ))
+        engine.run(until=200.0)
+        assert seen == [
+            ("on", 5.0, 1.0), ("off", 15.0, 1.0),
+            ("on", 55.0, 1.0), ("off", 65.0, 1.0),
+            ("on", 105.0, 1.0), ("off", 115.0, 1.0),
+        ]
+
+
+class TestGrammar:
+    def test_round_trips(self):
+        assert parse_schedule("burst:at=30,duration=20") == Burst(30.0, 20.0)
+        assert parse_schedule(
+            "periodic:period=60,duration=10,jitter=5"
+        ) == Periodic(period=60.0, duration=10.0, jitter=5.0)
+        assert parse_schedule("poisson:between=120,duration=30") == (
+            PoissonOutage(120.0, 30.0)
+        )
+        assert parse_schedule(
+            "degrade:at=10,duration=60,from=1,to=8,steps=4"
+        ) == Degradation(10.0, 60.0, 1.0, 8.0, 4)
+        assert parse_schedule("flaky:p=0.25") == Flaky(0.25)
+
+    def test_unknown_kind(self):
+        with pytest.raises(SimulationError, match="kind must be one of"):
+            parse_schedule("meteor:at=1")
+
+    def test_unknown_key(self):
+        with pytest.raises(SimulationError, match="key for 'burst'"):
+            parse_schedule("burst:when=1,duration=2")
+
+    def test_bad_number(self):
+        with pytest.raises(SimulationError, match="must be a number"):
+            parse_schedule("burst:at=soon,duration=2")
+
+    def test_missing_required_field(self):
+        with pytest.raises(SimulationError, match="incomplete"):
+            parse_schedule("burst:at=3")
+
+    def test_bad_value_hits_validators(self):
+        with pytest.raises(SimulationError, match="must be"):
+            parse_schedule("flaky:p=2")
