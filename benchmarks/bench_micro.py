@@ -36,6 +36,20 @@ def bench_engine_timeout_churn(benchmark):
     assert benchmark(churn) == 1.0
 
 
+def bench_engine_run_horizon(benchmark):
+    """The numeric-horizon hot loop: dispatch 10k timeouts up to a
+    deadline (the branch the runall figure sweeps live in)."""
+
+    def churn_to_horizon():
+        engine = Engine()
+        for i in range(10_000):
+            engine.timeout(float(i % 100))
+        engine.run(until=50.0)
+        return engine.now
+
+    assert benchmark(churn_to_horizon) == 50.0
+
+
 def bench_engine_process_pingpong(benchmark):
     """Generator-process switching rate: two processes alternating."""
 

@@ -1,0 +1,236 @@
+"""Tracked benchmark harness: the perf trajectory as an artifact::
+
+    python -m repro.experiments.bench --scale smoke --check   # CI gate
+    python -m repro.experiments.bench --scale quick           # full numbers
+
+Times three things and writes them to ``BENCH_campaign.json`` (repo
+root by convention) so performance is a tracked number from PR to PR:
+
+* **engine** — raw event throughput of the discrete-event core
+  (schedule + dispatch timeouts through ``Engine.run``);
+* **campaign** — the ``runall``-style figure grid executed serially vs
+  on a process pool (``--jobs``), asserting the results are identical;
+* **cache** — the same grid against a cold then a warm content-
+  addressed result cache, asserting the warm run served every cell.
+
+``--check`` additionally exits non-zero unless the JSON matches the
+schema and the parallel/cached runs reproduced the serial results
+exactly — that is the determinism contract ``repro.parallel`` sells.
+
+Wall-clock numbers vary by machine; the ``identical`` flags must not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+
+from ..parallel.cache import ResultCache
+from ..parallel.executor import CellSpec, resolve_jobs, run_cells
+from ..parallel.transport import to_jsonable
+from ..sim.engine import Engine
+from .runall import SCALES, Scale, campaign_cells
+
+SCHEMA = "repro.bench.campaign/1"
+
+#: Keys every benchmark document must carry (checked by ``--check``).
+REQUIRED = {
+    "schema": str,
+    "scale": str,
+    "python": str,
+    "cpu_count": int,
+    "jobs": int,
+    "cells": int,
+    "engine": dict,
+    "campaign": dict,
+    "cache": dict,
+    "identical": dict,
+}
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Benchmark sizing: engine event count + campaign grid."""
+
+    name: str
+    engine_events: int
+    campaign: Scale
+
+
+BENCH_SCALES = {
+    "smoke": BenchScale(
+        "smoke",
+        engine_events=30_000,
+        campaign=Scale(
+            "bench-smoke",
+            fig1_counts=(10, 20),
+            fig1_duration=15.0,
+            timeline_clients=20,
+            timeline_duration=60.0,
+            buffer_counts=(5, 10),
+            buffer_duration=10.0,
+            reader_duration=60.0,
+        ),
+    ),
+    "quick": BenchScale("quick", engine_events=200_000,
+                        campaign=SCALES["quick"]),
+}
+
+
+def bench_engine(events: int) -> dict:
+    """Schedule + dispatch ``events`` timeouts through the hot loop."""
+    engine = Engine()
+    for _ in range(events):
+        engine.timeout(1.0)
+    started = time.perf_counter()
+    engine.run()
+    seconds = time.perf_counter() - started
+    return {
+        "events": events,
+        "seconds": round(seconds, 4),
+        "events_per_s": round(events / seconds) if seconds else None,
+    }
+
+
+def _flat_cells(scale: Scale, seed: int) -> list[CellSpec]:
+    return [cell for cells in campaign_cells(scale, seed).values()
+            for cell in cells]
+
+
+def _fingerprint(results: list) -> str:
+    """Deterministic serialization for result-identity checks."""
+    return json.dumps([to_jsonable(result) for result in results],
+                      sort_keys=True)
+
+
+def bench_campaign(scale: Scale, seed: int, jobs: int) -> tuple[dict, dict]:
+    """Serial vs parallel wall clock, then cold vs warm cache, on the
+    same cell grid; both paths must reproduce the serial results."""
+    cells = _flat_cells(scale, seed)
+
+    started = time.perf_counter()
+    serial = run_cells(cells, jobs=None)
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run_cells(cells, jobs=jobs)
+    parallel_s = time.perf_counter() - started
+
+    campaign = {
+        "cells": len(cells),
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
+        "identical": _fingerprint(serial) == _fingerprint(parallel),
+    }
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cache = ResultCache(tmp)
+        started = time.perf_counter()
+        cold = run_cells(cells, cache=cache)
+        cold_s = time.perf_counter() - started
+        started = time.perf_counter()
+        warm = run_cells(cells, cache=cache)
+        warm_s = time.perf_counter() - started
+        cache_doc = {
+            "cold_s": round(cold_s, 3),
+            "warm_s": round(warm_s, 3),
+            "speedup": round(cold_s / warm_s, 2) if warm_s else None,
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "all_cells_served": cache.hits == len(cells),
+            "identical": (_fingerprint(serial) == _fingerprint(cold)
+                          == _fingerprint(warm)),
+        }
+    return campaign, cache_doc
+
+
+def run_bench(scale_name: str, seed: int, jobs: int | None) -> dict:
+    """The full benchmark document for one scale."""
+    scale = BENCH_SCALES[scale_name]
+    workers = resolve_jobs(4 if jobs is None else jobs)
+    engine_doc = bench_engine(scale.engine_events)
+    campaign_doc, cache_doc = bench_campaign(scale.campaign, seed, workers)
+    return {
+        "schema": SCHEMA,
+        "scale": scale_name,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+        "jobs": workers,
+        "cells": campaign_doc["cells"],
+        "engine": engine_doc,
+        "campaign": campaign_doc,
+        "cache": cache_doc,
+        "identical": {
+            "parallel_vs_serial": campaign_doc["identical"],
+            "cache_vs_serial": cache_doc["identical"],
+        },
+    }
+
+
+def check_document(doc: dict) -> list[str]:
+    """Schema + determinism problems in a benchmark document."""
+    problems: list[str] = []
+    for key, kind in REQUIRED.items():
+        if key not in doc:
+            problems.append(f"missing key: {key}")
+        elif not isinstance(doc[key], kind):
+            problems.append(
+                f"key {key}: expected {kind.__name__}, "
+                f"got {type(doc[key]).__name__}")
+    if doc.get("schema") not in (None, SCHEMA):
+        problems.append(f"unknown schema: {doc.get('schema')!r}")
+    identical = doc.get("identical", {})
+    if identical.get("parallel_vs_serial") is not True:
+        problems.append("parallel results differ from serial")
+    if identical.get("cache_vs_serial") is not True:
+        problems.append("cached results differ from serial")
+    if doc.get("cache", {}).get("all_cells_served") is not True:
+        problems.append("warm cache did not serve every cell")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(BENCH_SCALES),
+                        default="smoke")
+    parser.add_argument("--seed", type=int, default=2003)
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parallel worker count to benchmark against serial "
+             "(default: 4; 0 = one per CPU)",
+    )
+    parser.add_argument("--out", default="BENCH_campaign.json",
+                        help="where to write the benchmark document")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the schema holds and parallel/cached "
+             "runs match serial byte-for-byte",
+    )
+    args = parser.parse_args(argv)
+
+    doc = run_bench(args.scale, args.seed, args.jobs)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    print(json.dumps(doc, indent=2, sort_keys=True))
+
+    if args.check:
+        problems = check_document(doc)
+        if problems:
+            for problem in problems:
+                print(f"CHECK FAILED: {problem}", file=sys.stderr)
+            return 1
+        print("check ok: schema valid, parallel and cached runs identical")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -35,7 +35,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from ..clients.base import ALL_DISCIPLINES, Discipline
+from ..clients.base import ALL_DISCIPLINES, Discipline, by_name
 from ..faults.injectors import FaultSpec
 from ..faults.schedule import FaultWindow, Periodic
 from ..grid.archive import WanConfig
@@ -43,7 +43,9 @@ from ..grid.condor import CondorConfig
 from ..grid.httpserver import ReplicaConfig
 from ..grid.storage import BufferConfig
 from ..obs.api import Observability
-from ..obs.exporters import write_obs_bundle
+from ..obs.exporters import merge_obs_bundles, write_obs_bundle
+from ..parallel.cache import ResultCache
+from ..parallel.executor import CellSpec, run_cells
 from ..sim.monitor import TimeSeries
 from .scenario_buffer import BufferParams, run_buffer
 from .scenario_kangaroo import KangarooParams, run_kangaroo
@@ -363,30 +365,118 @@ def _cell_obs(obs_dir: Optional[str], discipline: Discipline,
     return obs, stem
 
 
+#: Fault classes by name, for worker-side cell reconstruction.
+FAULT_BY_NAME = {fc.name: fc for fc in FAULT_CLASSES}
+
+
+def run_cell(
+    scenario_name: str,
+    discipline_name: str,
+    fault_name: Optional[str],
+    level: int,
+    scale: ChaosScale,
+    seed: int,
+    obs_dir: Optional[str] = None,
+) -> tuple[float, TimeSeries]:
+    """One campaign cell, rebuilt from names so it pickles to workers.
+
+    ``fault_name=None`` (or ``level=0``) is the fault-free baseline.
+    Fault specs are regenerated from the class registry rather than
+    shipped — their schedules are pure functions of (level, duration),
+    so parent and worker always agree.  When ``obs_dir`` is set the
+    cell's telemetry bundle is written here, inside the (possibly
+    worker) process; live telemetry never crosses the process boundary.
+    """
+    scenario = SCENARIOS[scenario_name]
+    discipline = by_name(discipline_name)
+    duration = scenario.duration(scale)
+    if fault_name is None or level == 0:
+        specs: tuple[FaultSpec, ...] = ()
+        obs, stem = _cell_obs(obs_dir, discipline, "none", scenario_name, 0)
+    else:
+        specs = FAULT_BY_NAME[fault_name].build(level, duration)
+        obs, stem = _cell_obs(obs_dir, discipline, fault_name,
+                              scenario_name, level)
+    goodput, series = scenario.run(discipline, specs, scale, seed, obs)
+    if obs is not None:
+        write_obs_bundle(obs, obs_dir, stem)
+    return goodput, series
+
+
+def campaign_cells(
+    scale: ChaosScale,
+    seed: int,
+    obs_dir: Optional[str] = None,
+) -> list[CellSpec]:
+    """Every unique (scenario, discipline, fault, level) measurement.
+
+    Baselines come first, one per (scenario, discipline) — shared by
+    every fault class that targets the scenario — then the fault cells
+    in report order.  Cells carrying a live telemetry export are not
+    cacheable (their point is the side effect).
+    """
+    specs: list[CellSpec] = []
+    seen_baselines: set[tuple[str, str]] = set()
+    for fault_class in FAULT_CLASSES:
+        for discipline in ALL_DISCIPLINES:
+            key = (fault_class.scenario, discipline.name)
+            if key in seen_baselines:
+                continue
+            seen_baselines.add(key)
+            specs.append(CellSpec(
+                key=f"chaos/{fault_class.scenario}/baseline/{discipline.name}",
+                fn=run_cell,
+                args=(fault_class.scenario, discipline.name, None, 0,
+                      scale, seed, obs_dir),
+                cacheable=obs_dir is None,
+            ))
+    for fault_class in FAULT_CLASSES:
+        for level in scale.levels:
+            for discipline in ALL_DISCIPLINES:
+                specs.append(CellSpec(
+                    key=f"chaos/{fault_class.name}/i{level}/{discipline.name}",
+                    fn=run_cell,
+                    args=(fault_class.scenario, discipline.name,
+                          fault_class.name, level, scale, seed, obs_dir),
+                    cacheable=obs_dir is None,
+                ))
+    return specs
+
+
 def run_chaos_campaign(
     scale: ChaosScale,
     seed: int = 2003,
     obs_dir: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> ChaosReport:
     """Sweep every fault class x intensity x discipline; build the report.
 
     Baselines (intensity 0, no faults) run once per scenario/discipline
-    and anchor the ``retained`` column.  The report is a pure function of
-    ``(scale, seed)``.
+    and anchor the ``retained`` column.  The report is a pure function
+    of ``(scale, seed)`` — for any ``jobs`` value and any cache state,
+    because each cell owns its engine and seeds its own named random
+    streams (see docs/PERFORMANCE.md).
     """
     say = progress if progress is not None else (lambda _line: None)
-    baselines: dict[tuple[str, str], tuple[float, TimeSeries]] = {}
+
+    specs = campaign_cells(scale, seed, obs_dir=obs_dir)
+    results = run_cells(
+        specs, jobs=jobs, cache=cache,
+        progress=lambda key, status: (say(f"  {key} [{status}]")
+                                      if status != "done" else None),
+    )
+    measured: dict[tuple[str, str, Optional[str], int],
+                   tuple[float, TimeSeries]] = {}
+    for spec, outcome in zip(specs, results):
+        scenario_name, discipline_name, fault_name, level = spec.args[:4]
+        measured[(scenario_name, discipline_name, fault_name, level)] = outcome
+    if obs_dir is not None:
+        merge_obs_bundles(obs_dir)
 
     def baseline(scenario: Scenario, discipline: Discipline):
-        key = (scenario.name, discipline.name)
-        if key not in baselines:
-            obs, stem = _cell_obs(obs_dir, discipline, "none",
-                                  scenario.name, 0)
-            baselines[key] = scenario.run(discipline, (), scale, seed, obs)
-            if obs is not None:
-                write_obs_bundle(obs, obs_dir, stem)
-        return baselines[key]
+        return measured[(scenario.name, discipline.name, None, 0)]
 
     cells: list[ChaosCell] = []
     for fault_class in FAULT_CLASSES:
@@ -405,16 +495,11 @@ def run_chaos_campaign(
                 starvation=0,
             ))
         for level in scale.levels:
-            specs = fault_class.build(level, duration)
-            windows = _fault_windows(specs, duration)
+            specs_for_level = fault_class.build(level, duration)
+            windows = _fault_windows(specs_for_level, duration)
             for discipline in ALL_DISCIPLINES:
-                say(f"  {fault_class.name} i={level} {discipline.name} ...")
-                obs, stem = _cell_obs(obs_dir, discipline, fault_class.name,
-                                      scenario.name, level)
-                goodput, series = scenario.run(
-                    discipline, specs, scale, seed, obs)
-                if obs is not None:
-                    write_obs_bundle(obs, obs_dir, stem)
+                goodput, series = measured[(scenario.name, discipline.name,
+                                            fault_class.name, level)]
                 base_goodput, _ = baseline(scenario, discipline)
                 cells.append(ChaosCell(
                     fault=fault_class.name,
@@ -499,6 +584,20 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default="chaos_reports")
     parser.add_argument("--seed", type=int, default=2003)
     parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="run campaign cells on N worker processes "
+             "(default: serial; 0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache location "
+             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every cell even if cached",
+    )
+    parser.add_argument(
         "--obs-dir", default=None, metavar="DIR",
         help="write per-cell telemetry bundles (Chrome trace, spans "
              "JSONL, Prometheus text) into DIR",
@@ -507,9 +606,14 @@ def main(argv=None) -> int:
 
     scale = SCALES[args.scale]
     os.makedirs(args.out, exist_ok=True)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
     started = time.time()
     report = run_chaos_campaign(
-        scale, seed=args.seed, obs_dir=args.obs_dir, progress=print)
+        scale, seed=args.seed, obs_dir=args.obs_dir, progress=print,
+        jobs=args.jobs, cache=cache)
+    if cache is not None:
+        print(f"cache: {cache.hits} hits, {cache.misses} misses "
+              f"({cache.root})")
     text = render_scorecard(report)
 
     path = os.path.join(args.out, f"scorecard_{scale.name}.txt")

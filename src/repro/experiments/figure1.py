@@ -13,6 +13,8 @@ from typing import Sequence
 
 from ..clients.base import ALL_DISCIPLINES, Discipline
 from ..grid.condor import CondorConfig
+from ..parallel.cache import ResultCache
+from ..parallel.executor import CellSpec, run_cells
 from .report import ascii_chart, render_table
 from .scenario_submit import SubmitParams, SubmitResult, run_submission
 
@@ -31,6 +33,52 @@ class Figure1Result:
     runs: list[SubmitResult] = field(default_factory=list)
 
 
+def submit_cells(
+    counts: Sequence[int],
+    duration: float,
+    seed: int,
+    condor: CondorConfig | None = None,
+    disciplines: Sequence[Discipline] = ALL_DISCIPLINES,
+    carrier_threshold: int = 1000,
+) -> list[CellSpec]:
+    """The sweep as independent cells, discipline-major (paper order)."""
+    condor = condor or CondorConfig()
+    return [
+        CellSpec(
+            key=f"fig1/{discipline.name}/n{count}",
+            fn=run_submission,
+            args=(SubmitParams(
+                discipline=discipline,
+                n_clients=count,
+                duration=duration,
+                script_window=duration,
+                carrier_threshold=carrier_threshold,
+                condor=condor,
+                seed=seed,
+            ),),
+        )
+        for discipline in disciplines
+        for count in counts
+    ]
+
+
+def assemble_figure1(
+    counts: Sequence[int],
+    duration: float,
+    runs: Sequence[SubmitResult],
+    disciplines: Sequence[Discipline] = ALL_DISCIPLINES,
+) -> Figure1Result:
+    """Fold per-cell results (in :func:`submit_cells` order) into the figure."""
+    result = Figure1Result(counts=tuple(counts), duration=duration)
+    per_discipline = len(counts)
+    for idx, discipline in enumerate(disciplines):
+        block = runs[idx * per_discipline:(idx + 1) * per_discipline]
+        result.jobs[discipline.name] = [r.jobs_submitted for r in block]
+        result.crashes[discipline.name] = [r.crashes for r in block]
+        result.runs.extend(block)
+    return result
+
+
 def run_figure1(
     counts: Sequence[int] = PAPER_COUNTS,
     duration: float = 300.0,
@@ -38,31 +86,19 @@ def run_figure1(
     condor: CondorConfig | None = None,
     disciplines: Sequence[Discipline] = ALL_DISCIPLINES,
     carrier_threshold: int = 1000,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
 ) -> Figure1Result:
-    """Regenerate the Figure 1 sweep (possibly scaled down)."""
-    condor = condor or CondorConfig()
-    result = Figure1Result(counts=tuple(counts), duration=duration)
-    for discipline in disciplines:
-        jobs_row: list[int] = []
-        crash_row: list[int] = []
-        for count in counts:
-            run = run_submission(
-                SubmitParams(
-                    discipline=discipline,
-                    n_clients=count,
-                    duration=duration,
-                    script_window=duration,
-                    carrier_threshold=carrier_threshold,
-                    condor=condor,
-                    seed=seed,
-                )
-            )
-            jobs_row.append(run.jobs_submitted)
-            crash_row.append(run.crashes)
-            result.runs.append(run)
-        result.jobs[discipline.name] = jobs_row
-        result.crashes[discipline.name] = crash_row
-    return result
+    """Regenerate the Figure 1 sweep (possibly scaled down).
+
+    ``jobs``/``cache`` follow :func:`repro.parallel.run_cells`; the
+    assembled figure is identical for any jobs value or cache state.
+    """
+    cells = submit_cells(counts, duration, seed, condor=condor,
+                         disciplines=disciplines,
+                         carrier_threshold=carrier_threshold)
+    runs = run_cells(cells, jobs=jobs, cache=cache)
+    return assemble_figure1(counts, duration, runs, disciplines=disciplines)
 
 
 def render(result: Figure1Result) -> str:

@@ -27,7 +27,7 @@ class TimelineResult:
     run: SubmitResult
 
 
-def run_submit_timeline(
+def timeline_params(
     discipline: Discipline = ALOHA,
     n_clients: int = 400,
     duration: float = 1800.0,
@@ -35,26 +35,38 @@ def run_submit_timeline(
     condor: CondorConfig | None = None,
     carrier_threshold: int = 1000,
     sample_interval: float = 5.0,
-) -> TimelineResult:
-    """Shared runner for Figures 2 and 3."""
-    run = run_submission(
-        SubmitParams(
-            discipline=discipline,
-            n_clients=n_clients,
-            duration=duration,
-            script_window=300.0,
-            carrier_threshold=carrier_threshold,
-            condor=condor or CondorConfig(),
-            seed=seed,
-            sample_interval=sample_interval,
-        )
-    )
-    return TimelineResult(
-        discipline=discipline.name,
+) -> SubmitParams:
+    """The timeline figures' run configuration, as a campaign cell input."""
+    return SubmitParams(
+        discipline=discipline,
+        n_clients=n_clients,
         duration=duration,
+        script_window=300.0,
+        carrier_threshold=carrier_threshold,
+        condor=condor or CondorConfig(),
+        seed=seed,
+        sample_interval=sample_interval,
+    )
+
+
+def timeline_from_run(run: SubmitResult) -> TimelineResult:
+    """Fold a submission result into the figure's timeline view."""
+    return TimelineResult(
+        discipline=run.params.discipline.name,
+        duration=run.params.duration,
         jobs_series=run.jobs_series,
         fd_series=run.fd_series,
         run=run,
+    )
+
+
+def run_submit_timeline(
+    discipline: Discipline = ALOHA,
+    **kwargs,
+) -> TimelineResult:
+    """Shared runner for Figures 2 and 3."""
+    return timeline_from_run(
+        run_submission(timeline_params(discipline=discipline, **kwargs))
     )
 
 

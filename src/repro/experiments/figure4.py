@@ -16,6 +16,8 @@ from typing import Sequence
 
 from ..clients.base import ALL_DISCIPLINES, Discipline
 from ..grid.storage import BufferConfig
+from ..parallel.cache import ResultCache
+from ..parallel.executor import CellSpec, run_cells
 from .report import ascii_chart, render_table
 from .scenario_buffer import BufferParams, BufferResult, run_buffer
 
@@ -34,35 +36,68 @@ class BufferSweepResult:
     runs: list[BufferResult] = field(default_factory=list)
 
 
+def buffer_cells(
+    counts: Sequence[int],
+    duration: float,
+    seed: int,
+    buffer: BufferConfig | None = None,
+    disciplines: Sequence[Discipline] = ALL_DISCIPLINES,
+) -> list[CellSpec]:
+    """The sweep as independent cells, discipline-major (paper order)."""
+    buffer = buffer or BufferConfig()
+    return [
+        CellSpec(
+            key=f"fig45/{discipline.name}/p{count}",
+            fn=run_buffer,
+            args=(BufferParams(
+                discipline=discipline,
+                n_producers=count,
+                duration=duration,
+                buffer=buffer,
+                seed=seed,
+            ),),
+        )
+        for discipline in disciplines
+        for count in counts
+    ]
+
+
+def assemble_buffer_sweep(
+    counts: Sequence[int],
+    duration: float,
+    runs: Sequence[BufferResult],
+    disciplines: Sequence[Discipline] = ALL_DISCIPLINES,
+) -> BufferSweepResult:
+    """Fold per-cell results (in :func:`buffer_cells` order) into the sweep."""
+    result = BufferSweepResult(counts=tuple(counts), duration=duration)
+    per_discipline = len(counts)
+    for idx, discipline in enumerate(disciplines):
+        block = runs[idx * per_discipline:(idx + 1) * per_discipline]
+        result.consumed[discipline.name] = [r.files_consumed for r in block]
+        result.collisions[discipline.name] = [r.collisions for r in block]
+        result.runs.extend(block)
+    return result
+
+
 def run_buffer_sweep(
     counts: Sequence[int] = PAPER_COUNTS,
     duration: float = 60.0,
     seed: int = 2003,
     buffer: BufferConfig | None = None,
     disciplines: Sequence[Discipline] = ALL_DISCIPLINES,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
 ) -> BufferSweepResult:
-    """The shared sweep behind Figures 4 and 5."""
-    buffer = buffer or BufferConfig()
-    result = BufferSweepResult(counts=tuple(counts), duration=duration)
-    for discipline in disciplines:
-        consumed_row: list[int] = []
-        collision_row: list[int] = []
-        for count in counts:
-            run = run_buffer(
-                BufferParams(
-                    discipline=discipline,
-                    n_producers=count,
-                    duration=duration,
-                    buffer=buffer,
-                    seed=seed,
-                )
-            )
-            consumed_row.append(run.files_consumed)
-            collision_row.append(run.collisions)
-            result.runs.append(run)
-        result.consumed[discipline.name] = consumed_row
-        result.collisions[discipline.name] = collision_row
-    return result
+    """The shared sweep behind Figures 4 and 5.
+
+    ``jobs``/``cache`` follow :func:`repro.parallel.run_cells`; the
+    assembled sweep is identical for any jobs value or cache state.
+    """
+    cells = buffer_cells(counts, duration, seed, buffer=buffer,
+                         disciplines=disciplines)
+    runs = run_cells(cells, jobs=jobs, cache=cache)
+    return assemble_buffer_sweep(counts, duration, runs,
+                                 disciplines=disciplines)
 
 
 #: Figure 4 and Figure 5 are two views of the same sweep.

@@ -27,23 +27,36 @@ class ReaderTimelineResult:
     run: ReplicaResult
 
 
-def run_reader_timeline(
+def reader_params(
     discipline: Discipline = ALOHA,
     duration: float = 900.0,
     seed: int = 2003,
     **kwargs,
-) -> ReaderTimelineResult:
-    """Shared runner for Figures 6 and 7."""
-    run = run_replica(
-        ReplicaParams(discipline=discipline, duration=duration, seed=seed, **kwargs)
-    )
+) -> ReplicaParams:
+    """The reader figures' run configuration, as a campaign cell input."""
+    return ReplicaParams(discipline=discipline, duration=duration,
+                         seed=seed, **kwargs)
+
+
+def reader_from_run(run: ReplicaResult) -> ReaderTimelineResult:
+    """Fold a replica result into the figure's timeline view."""
     return ReaderTimelineResult(
-        discipline=discipline.name,
-        duration=duration,
+        discipline=run.params.discipline.name,
+        duration=run.params.duration,
         transfers_series=run.transfers_series,
         collisions_series=run.collisions_series,
         deferrals_series=run.deferrals_series,
         run=run,
+    )
+
+
+def run_reader_timeline(
+    discipline: Discipline = ALOHA,
+    **kwargs,
+) -> ReaderTimelineResult:
+    """Shared runner for Figures 6 and 7."""
+    return reader_from_run(
+        run_replica(reader_params(discipline=discipline, **kwargs))
     )
 
 

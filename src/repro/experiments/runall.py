@@ -7,6 +7,13 @@
 Writes one plain-text report per figure into ``--out`` (default
 ``./figure_reports``) and prints a summary table of the headline
 numbers — the same numbers EXPERIMENTS.md records.
+
+The whole campaign is one flat grid of independent simulation cells, so
+``--jobs N`` fans it out over N worker processes (``--jobs 0`` = one
+per CPU) and the content-addressed result cache under ``--cache-dir``
+makes an unchanged rerun near-instant — both without changing a byte of
+any report, because every cell is a pure function of its params and
+seed (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -17,17 +24,23 @@ import sys
 import time
 from dataclasses import dataclass
 
-from ..clients.base import ALL_DISCIPLINES
+from ..clients.base import ALL_DISCIPLINES, ALOHA, ETHERNET, by_name
 from ..obs.api import Observability
-from ..obs.exporters import write_obs_bundle
+from ..obs.exporters import merge_obs_bundles, write_obs_bundle
 from ..obs.report import render_report
-from .figure1 import render as render1, run_figure1
-from .figure2 import render as render_timeline, run_figure2
-from .figure3 import run_figure3
-from .figure4 import render_figure4, render_figure5, run_buffer_sweep
-from .figure6 import render as render_reader, run_figure6
-from .figure7 import run_figure7
+from ..parallel.cache import ResultCache
+from ..parallel.executor import CellSpec, run_cells
+from .figure1 import assemble_figure1, render as render1, submit_cells
+from .figure2 import render as render_timeline, timeline_from_run, timeline_params
+from .figure4 import (
+    assemble_buffer_sweep,
+    buffer_cells,
+    render_figure4,
+    render_figure5,
+)
+from .figure6 import reader_from_run, reader_params, render as render_reader
 from .report import series_csv, sweep_csv
+from .scenario_replica import run_replica
 from .scenario_submit import SubmitParams, run_submission
 
 
@@ -77,42 +90,102 @@ SCALES = {
 }
 
 
+def _observability_cell(obs_dir: str, discipline_name: str, n_clients: int,
+                        duration: float, seed: int) -> list[str]:
+    """One fully-instrumented exemplar submission run (worker-safe).
+
+    The telemetry is exported to files *inside* the cell — a live
+    Observability cannot cross a process boundary — and the parent
+    merges the per-cell bundles afterwards.
+    """
+    discipline = by_name(discipline_name)
+    obs = Observability(const_labels=discipline.labels(scenario="submit"))
+    params = SubmitParams(
+        discipline=discipline,
+        n_clients=n_clients,
+        duration=duration,
+        seed=seed,
+        obs=obs,
+    )
+    run_submission(params)
+    stem = f"submit_{discipline.name}"
+    paths = write_obs_bundle(obs, obs_dir, stem)
+    report_path = os.path.join(obs_dir, f"{stem}.report.txt")
+    with open(report_path, "w", encoding="utf-8") as handle:
+        handle.write(
+            render_report(tracer=obs.tracer, registry=obs.metrics) + "\n"
+        )
+    paths.append(report_path)
+    return paths
+
+
 def write_observability(
     obs_dir: str,
     n_clients: int,
     duration: float,
     seed: int = 2003,
+    jobs: int | None = None,
 ) -> list[str]:
     """Fully-instrumented exemplar runs, one per discipline.
 
     Each discipline gets a Figure-1-style submission run with a live
     :class:`~repro.obs.Observability` attached (const-labeled with the
     discipline and scenario), exported as a Chrome trace, a spans JSONL,
-    a Prometheus text file, and a telemetry report.  Returns the paths
-    written.
+    a Prometheus text file, and a telemetry report.  Per-discipline
+    bundles are then merged into one ``combined.*`` bundle — this is
+    what keeps worker-process telemetry visible when the runs execute
+    in a pool.  Returns the paths written.
     """
-    paths: list[str] = []
     os.makedirs(obs_dir, exist_ok=True)
-    for discipline in ALL_DISCIPLINES:
-        obs = Observability(
-            const_labels=discipline.labels(scenario="submit"))
-        params = SubmitParams(
-            discipline=discipline,
-            n_clients=n_clients,
-            duration=duration,
-            seed=seed,
-            obs=obs,
+    cells = [
+        CellSpec(
+            key=f"obs/{discipline.name}",
+            fn=_observability_cell,
+            args=(obs_dir, discipline.name, n_clients, duration, seed),
+            cacheable=False,
         )
-        run_submission(params)
-        stem = f"submit_{discipline.name}"
-        paths.extend(write_obs_bundle(obs, obs_dir, stem))
-        report_path = os.path.join(obs_dir, f"{stem}.report.txt")
-        with open(report_path, "w", encoding="utf-8") as handle:
-            handle.write(
-                render_report(tracer=obs.tracer, registry=obs.metrics) + "\n"
-            )
-        paths.append(report_path)
+        for discipline in ALL_DISCIPLINES
+    ]
+    paths = [path for cell_paths in run_cells(cells, jobs=jobs)
+             for path in cell_paths]
+    paths.extend(merge_obs_bundles(obs_dir))
     return paths
+
+
+def campaign_cells(scale: Scale, seed: int) -> dict[str, list[CellSpec]]:
+    """Every cell of the figure campaign, grouped by figure."""
+    return {
+        "fig1": submit_cells(scale.fig1_counts, scale.fig1_duration, seed),
+        "fig2": [CellSpec(
+            "fig2/aloha", run_submission,
+            (timeline_params(ALOHA, n_clients=scale.timeline_clients,
+                             duration=scale.timeline_duration, seed=seed),),
+        )],
+        "fig3": [CellSpec(
+            "fig3/ethernet", run_submission,
+            (timeline_params(ETHERNET, n_clients=scale.timeline_clients,
+                             duration=scale.timeline_duration, seed=seed),),
+        )],
+        "fig45": buffer_cells(scale.buffer_counts, scale.buffer_duration,
+                              seed),
+        "fig6": [CellSpec(
+            "fig6/aloha", run_replica,
+            (reader_params(ALOHA, duration=scale.reader_duration,
+                           seed=seed),),
+        )],
+        "fig7": [CellSpec(
+            "fig7/ethernet", run_replica,
+            (reader_params(ETHERNET, duration=scale.reader_duration,
+                           seed=seed),),
+        )],
+    }
+
+
+def build_cache(cache_dir: str | None, enabled: bool) -> ResultCache | None:
+    """The CLI's cache policy: on by default, ``--no-cache`` to disable."""
+    if not enabled:
+        return None
+    return ResultCache(cache_dir)
 
 
 def main(argv=None) -> int:
@@ -120,6 +193,20 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", choices=sorted(SCALES), default="medium")
     parser.add_argument("--out", default="figure_reports")
     parser.add_argument("--seed", type=int, default=2003)
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="run campaign cells on N worker processes "
+             "(default: serial; 0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache location "
+             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every cell even if cached",
+    )
     parser.add_argument(
         "--csv", action="store_true",
         help="also write machine-readable .csv files per figure",
@@ -133,6 +220,7 @@ def main(argv=None) -> int:
 
     scale = SCALES[args.scale]
     os.makedirs(args.out, exist_ok=True)
+    cache = build_cache(args.cache_dir, not args.no_cache)
 
     def save(name: str, text: str, extension: str = "txt") -> None:
         path = os.path.join(args.out, f"{name}.{extension}")
@@ -143,9 +231,27 @@ def main(argv=None) -> int:
     summary: list[str] = [f"scale={scale.name} seed={args.seed}"]
 
     started = time.time()
+    groups = campaign_cells(scale, args.seed)
+    flat: list[CellSpec] = [cell for cells in groups.values() for cell in cells]
+    print(f"Campaign: {len(flat)} cells "
+          f"(jobs={'serial' if not args.jobs else args.jobs}, "
+          f"cache={'off' if cache is None else cache.root}) ...")
+
+    def progress(key: str, status: str) -> None:
+        if status != "done":
+            print(f"  {key} [{status}]")
+
+    results = run_cells(flat, jobs=args.jobs, cache=cache,
+                        progress=progress)
+    by_group: dict[str, list] = {}
+    cursor = 0
+    for name, cells in groups.items():
+        by_group[name] = results[cursor:cursor + len(cells)]
+        cursor += len(cells)
+
     print("Figure 1: job-submission sweep ...")
-    fig1 = run_figure1(counts=scale.fig1_counts, duration=scale.fig1_duration,
-                       seed=args.seed)
+    fig1 = assemble_figure1(scale.fig1_counts, scale.fig1_duration,
+                            by_group["fig1"])
     save("figure1", render1(fig1))
     if args.csv:
         save("figure1",
@@ -160,8 +266,7 @@ def main(argv=None) -> int:
     )
 
     print("Figure 2: Aloha submitter timeline ...")
-    fig2 = run_figure2(n_clients=scale.timeline_clients,
-                       duration=scale.timeline_duration, seed=args.seed)
+    fig2 = timeline_from_run(by_group["fig2"][0])
     save("figure2", render_timeline(fig2))
     if args.csv:
         save("figure2",
@@ -174,8 +279,7 @@ def main(argv=None) -> int:
     )
 
     print("Figure 3: Ethernet submitter timeline ...")
-    fig3 = run_figure3(n_clients=scale.timeline_clients,
-                       duration=scale.timeline_duration, seed=args.seed)
+    fig3 = timeline_from_run(by_group["fig3"][0])
     save("figure3", render_timeline(fig3))
     if args.csv:
         save("figure3",
@@ -188,8 +292,8 @@ def main(argv=None) -> int:
     )
 
     print("Figures 4+5: buffer sweep ...")
-    sweep = run_buffer_sweep(counts=scale.buffer_counts,
-                             duration=scale.buffer_duration, seed=args.seed)
+    sweep = assemble_buffer_sweep(scale.buffer_counts, scale.buffer_duration,
+                                  by_group["fig45"])
     save("figure4", render_figure4(sweep))
     save("figure5", render_figure5(sweep))
     if args.csv:
@@ -212,7 +316,7 @@ def main(argv=None) -> int:
     )
 
     print("Figure 6: Aloha reader ...")
-    fig6 = run_figure6(duration=scale.reader_duration, seed=args.seed)
+    fig6 = reader_from_run(by_group["fig6"][0])
     save("figure6", render_reader(fig6))
     if args.csv:
         save("figure6",
@@ -225,7 +329,7 @@ def main(argv=None) -> int:
     )
 
     print("Figure 7: Ethernet reader ...")
-    fig7 = run_figure7(duration=scale.reader_duration, seed=args.seed)
+    fig7 = reader_from_run(by_group["fig7"][0])
     save("figure7", render_reader(fig7))
     if args.csv:
         save("figure7",
@@ -245,15 +349,21 @@ def main(argv=None) -> int:
             n_clients=scale.fig1_counts[-1],
             duration=scale.fig1_duration,
             seed=args.seed,
+            jobs=args.jobs,
         ):
             print(f"  wrote {path}")
         summary.append(f"telemetry: {args.obs_dir}")
 
     elapsed = time.time() - started
-    summary.append(f"wall time: {elapsed:.1f}s")
+    if cache is not None:
+        print(f"cache: {cache.hits} hits, {cache.misses} misses "
+              f"({cache.root})")
+    # Wall time goes to stdout only: the saved summary must be
+    # byte-identical across --jobs values and cache states.
     text = "\n".join(summary)
     save("summary", text)
     print("\n" + text)
+    print(f"wall time: {elapsed:.1f}s")
     return 0
 
 

@@ -62,6 +62,24 @@ class Summary:
         )
 
 
+def summarize(
+    results: Sequence[T],
+    metrics: dict[str, Callable[[T], float]],
+) -> dict[str, Summary]:
+    """Summarize each metric across already-computed replication results.
+
+    The extraction half of :func:`replicate`, split out so callers that
+    farm the runs out over a process pool (``variance --jobs``) can
+    summarize the collected results identically.
+    """
+    if not results:
+        raise ValueError("need at least one result")
+    return {
+        name: Summary(name, tuple(float(extract(result)) for result in results))
+        for name, extract in metrics.items()
+    }
+
+
 def replicate(
     run: Callable[[int], T],
     seeds: Sequence[int],
@@ -79,11 +97,7 @@ def replicate(
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    results = [run(seed) for seed in seeds]
-    return {
-        name: Summary(name, tuple(float(extract(result)) for result in results))
-        for name, extract in metrics.items()
-    }
+    return summarize([run(seed) for seed in seeds], metrics)
 
 
 def dominates(

@@ -3,22 +3,29 @@
 ::
 
     python -m repro.experiments.variance --replications 10
+    python -m repro.experiments.variance --replications 10 --jobs 4
 
 Re-runs the headline comparison of each scenario across seeds and prints
 mean ± CI per discipline, plus a pairwise dominance verdict for each
 shape claim (common random numbers, so pairs share their workload).
+Every (discipline, seed) replication is an independent simulation cell,
+so ``--jobs`` fans the whole study out over a process pool without
+changing a single number.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from typing import Optional, Sequence
 
-from ..clients.base import ALOHA, ETHERNET, FIXED
+from ..clients.base import ALOHA, Discipline, ETHERNET, FIXED
+from ..parallel.cache import ResultCache
+from ..parallel.executor import CellSpec, run_cells
 from .scenario_buffer import BufferParams, run_buffer
 from .scenario_replica import ReplicaParams, run_replica
 from .scenario_submit import SubmitParams, run_submission
-from .stats import dominates, replicate
+from .stats import dominates, summarize
 
 #: Study scale — module-level so tests can shrink it.
 SUBMIT_CLIENTS = 400
@@ -28,16 +35,48 @@ BUFFER_DURATION = 60.0
 READER_DURATION = 900.0
 
 
-def submission_study(seeds) -> list[str]:
+def _replicate_cells(
+    study: str,
+    disciplines: Sequence[Discipline],
+    seeds: Sequence[int],
+    params_for,
+    run_fn,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> dict[str, list]:
+    """Run ``run_fn(params_for(discipline, seed))`` for the full grid.
+
+    Returns results grouped per discipline, seed-ordered — the common-
+    random-numbers layout the dominance checks expect.
+    """
+    specs = [
+        CellSpec(
+            key=f"var/{study}/{discipline.name}/{seed}",
+            fn=run_fn,
+            args=(params_for(discipline, seed),),
+        )
+        for discipline in disciplines
+        for seed in seeds
+    ]
+    results = run_cells(specs, jobs=jobs, cache=cache)
+    grouped: dict[str, list] = {}
+    for idx, discipline in enumerate(disciplines):
+        grouped[discipline.name] = results[idx * len(seeds):(idx + 1) * len(seeds)]
+    return grouped
+
+
+def submission_study(seeds, jobs=None, cache=None) -> list[str]:
     lines = [f"scenario 1 — {SUBMIT_CLIENTS} submitters, {SUBMIT_DURATION:.0f} s:"]
+    grouped = _replicate_cells(
+        "submit", (FIXED, ALOHA, ETHERNET), seeds,
+        lambda d, seed: SubmitParams(discipline=d, n_clients=SUBMIT_CLIENTS,
+                                     duration=SUBMIT_DURATION, seed=seed),
+        run_submission, jobs=jobs, cache=cache,
+    )
     summaries = {}
     for discipline in (FIXED, ALOHA, ETHERNET):
-        result = replicate(
-            lambda seed, d=discipline: run_submission(
-                SubmitParams(discipline=d, n_clients=SUBMIT_CLIENTS,
-                             duration=SUBMIT_DURATION, seed=seed)
-            ),
-            seeds,
+        result = summarize(
+            grouped[discipline.name],
             {"jobs": lambda r: r.jobs_submitted,
              "crashes": lambda r: r.crashes},
         )
@@ -51,16 +90,18 @@ def submission_study(seeds) -> list[str]:
     return lines
 
 
-def buffer_study(seeds) -> list[str]:
+def buffer_study(seeds, jobs=None, cache=None) -> list[str]:
     lines = [f"scenario 2 — {BUFFER_PRODUCERS} producers, {BUFFER_DURATION:.0f} s:"]
+    grouped = _replicate_cells(
+        "buffer", (FIXED, ALOHA, ETHERNET), seeds,
+        lambda d, seed: BufferParams(discipline=d, n_producers=BUFFER_PRODUCERS,
+                                     duration=BUFFER_DURATION, seed=seed),
+        run_buffer, jobs=jobs, cache=cache,
+    )
     summaries = {}
     for discipline in (FIXED, ALOHA, ETHERNET):
-        result = replicate(
-            lambda seed, d=discipline: run_buffer(
-                BufferParams(discipline=d, n_producers=BUFFER_PRODUCERS,
-                             duration=BUFFER_DURATION, seed=seed)
-            ),
-            seeds,
+        result = summarize(
+            grouped[discipline.name],
             {"consumed": lambda r: r.files_consumed,
              "collisions": lambda r: r.collisions},
         )
@@ -76,15 +117,18 @@ def buffer_study(seeds) -> list[str]:
     return lines
 
 
-def replica_study(seeds) -> list[str]:
+def replica_study(seeds, jobs=None, cache=None) -> list[str]:
     lines = [f"scenario 3 — 3 readers, {READER_DURATION:.0f} s, one black hole:"]
+    grouped = _replicate_cells(
+        "replica", (ALOHA, ETHERNET), seeds,
+        lambda d, seed: ReplicaParams(discipline=d, duration=READER_DURATION,
+                                      seed=seed),
+        run_replica, jobs=jobs, cache=cache,
+    )
     summaries = {}
     for discipline in (ALOHA, ETHERNET):
-        result = replicate(
-            lambda seed, d=discipline: run_replica(
-                ReplicaParams(discipline=d, duration=READER_DURATION, seed=seed)
-            ),
-            seeds,
+        result = summarize(
+            grouped[discipline.name],
             {"transfers": lambda r: r.transfers,
              "collisions": lambda r: r.collisions},
         )
@@ -101,11 +145,26 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--replications", type=int, default=5)
     parser.add_argument("--base-seed", type=int, default=2003)
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="run replication cells on N worker processes "
+             "(default: serial; 0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache location "
+             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every cell even if cached",
+    )
     args = parser.parse_args(argv)
     seeds = list(range(args.base_seed, args.base_seed + args.replications))
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
 
     for study in (submission_study, buffer_study, replica_study):
-        for line in study(seeds):
+        for line in study(seeds, jobs=args.jobs, cache=cache):
             print(line)
         print()
     return 0

@@ -199,3 +199,69 @@ def write_obs_bundle(obs: "Observability", directory: str, stem: str) -> list[st
     write_spans_jsonl(obs.tracer, spans_path)
     write_prometheus(obs.metrics, prom_path)
     return [trace_path, spans_path, prom_path]
+
+
+def merge_obs_bundles(directory: str, stem: str = "combined") -> list[str]:
+    """Merge every per-cell bundle in ``directory`` into one.
+
+    Parallel campaigns produce telemetry in worker processes; each
+    worker writes its own bundle files, and this folds them back into a
+    parent-level view instead of leaving worker telemetry scattered (or
+    dropped).  Produces:
+
+    * ``<stem>.spans.jsonl`` — all spans, in bundle order;
+    * ``<stem>.trace.json`` — one Chrome trace with one ``pid`` per
+      source bundle, so cells stay visually separate;
+    * ``<stem>.prom`` — all samples concatenated, HELP/TYPE headers
+      deduplicated (per-cell const labels keep samples distinct).
+
+    Returns the paths written; empty list if there is nothing to merge.
+    """
+    import os
+
+    def sources(suffix: str) -> list[str]:
+        return sorted(
+            os.path.join(directory, name)
+            for name in os.listdir(directory)
+            if name.endswith(suffix) and not name.startswith(f"{stem}.")
+        )
+
+    span_files = sources(".spans.jsonl")
+    prom_files = sources(".prom")
+    if not span_files and not prom_files:
+        return []
+    written: list[str] = []
+
+    if span_files:
+        all_spans: list[Span] = []
+        events: list[dict[str, Any]] = []
+        for pid, path in enumerate(span_files, start=1):
+            spans = read_spans_jsonl(path)
+            all_spans.extend(spans)
+            events.extend(chrome_trace_events(spans, pid=pid))
+        spans_path = os.path.join(directory, f"{stem}.spans.jsonl")
+        with open(spans_path, "w", encoding="utf-8") as handle:
+            for span in all_spans:
+                handle.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+        trace_path = os.path.join(directory, f"{stem}.trace.json")
+        with open(trace_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(events, indent=None) + "\n")
+        written += [spans_path, trace_path]
+
+    if prom_files:
+        headers_seen: set[str] = set()
+        lines: list[str] = []
+        for path in prom_files:
+            with open(path, encoding="utf-8") as handle:
+                for line in handle.read().splitlines():
+                    if line.startswith("#"):
+                        if line in headers_seen:
+                            continue
+                        headers_seen.add(line)
+                    lines.append(line)
+        prom_path = os.path.join(directory, f"{stem}.prom")
+        with open(prom_path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + ("\n" if lines else ""))
+        written.append(prom_path)
+
+    return written

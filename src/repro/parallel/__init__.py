@@ -1,0 +1,33 @@
+"""Parallel campaign execution with a content-addressed result cache.
+
+The paper's evaluation (and this repo's chaos campaign) is a grid of
+independent simulation cells.  This package farms those cells out over
+a process pool (:func:`run_cells`), caches each cell's result under a
+content hash of its inputs and the repo's code fingerprint
+(:class:`ResultCache`), and guarantees — because every cell derives all
+randomness from named streams seeded by its params — that serial,
+parallel, and cached executions are byte-identical.
+"""
+
+from .cache import (
+    ResultCache,
+    canonical,
+    canonical_json,
+    code_fingerprint,
+    default_cache_dir,
+)
+from .executor import CellSpec, resolve_jobs, run_cells
+from .transport import strip_observability, to_jsonable
+
+__all__ = [
+    "CellSpec",
+    "ResultCache",
+    "canonical",
+    "canonical_json",
+    "code_fingerprint",
+    "default_cache_dir",
+    "resolve_jobs",
+    "run_cells",
+    "strip_observability",
+    "to_jsonable",
+]

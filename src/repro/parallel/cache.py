@@ -1,0 +1,171 @@
+"""Content-addressed result cache for campaign cells.
+
+A cell's cache key is a stable hash of four things:
+
+* the *cell function* (module + qualified name) — the scenario runner;
+* its *canonicalized parameters* — dataclasses walked field by field
+  (telemetry sinks excluded), dicts key-sorted, floats kept exact;
+* the *seed*, which lives inside those parameters; and
+* a *code fingerprint* — a hash over every ``repro`` source file, so
+  editing any module invalidates previous results wholesale.
+
+Values are pickled under ``<root>/<key[:2]>/<key>.pkl`` (root defaults
+to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).  Writes are atomic
+(temp file + ``os.replace``) so concurrent campaigns never observe a
+torn entry; a corrupt or unreadable entry is treated as a miss.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from functools import lru_cache
+from typing import Any, Callable, Mapping, Optional
+
+#: Parameter fields that carry live telemetry sinks, not semantics.
+NON_SEMANTIC_FIELDS = frozenset({"obs"})
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hash of every ``repro`` source file (path + bytes), hex-truncated.
+
+    Any edit anywhere in the package changes the fingerprint, which
+    changes every cache key — a deliberately coarse but safe
+    invalidation rule: stale results are worse than recomputation.
+    """
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.sha256()
+    for dirpath, dirnames, filenames in sorted(os.walk(root)):
+        dirnames.sort()
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            digest.update(os.path.relpath(path, root).encode())
+            digest.update(b"\0")
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+            digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def canonical(value: Any) -> Any:
+    """A JSON-able canonical view of a parameter object.
+
+    Dataclasses become ``{"__type__": name, field: ...}`` dicts with
+    non-semantic fields dropped; tuples and lists flatten to lists;
+    dict keys are stringified (sorting happens at dump time).  Anything
+    unrecognized falls back to ``repr`` — stable for the config objects
+    this repo uses.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        row: dict[str, Any] = {"__type__": type(value).__qualname__}
+        for field in dataclasses.fields(value):
+            if field.name in NON_SEMANTIC_FIELDS:
+                continue
+            row[field.name] = canonical(getattr(value, field.name))
+        return row
+    if isinstance(value, Mapping):
+        return {str(key): canonical(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if callable(value):
+        return f"{getattr(value, '__module__', '?')}:{getattr(value, '__qualname__', repr(value))}"
+    return repr(value)
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical view serialized deterministically."""
+    return json.dumps(canonical(value), sort_keys=True, separators=(",", ":"))
+
+
+class ResultCache:
+    """Pickled cell results addressed by content hash.
+
+    The cache never interprets values — it stores whatever picklable
+    object the cell function returned and hands it back verbatim, so a
+    warm rerun is byte-identical to the run that populated it.
+    """
+
+    def __init__(self, root: Optional[str] = None,
+                 fingerprint: Optional[str] = None) -> None:
+        self.root = root if root is not None else default_cache_dir()
+        self.fingerprint = (fingerprint if fingerprint is not None
+                            else code_fingerprint())
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    def key_for(self, fn: Callable[..., Any], args: tuple = (),
+                kwargs: Optional[Mapping[str, Any]] = None) -> str:
+        """The content hash addressing ``fn(*args, **kwargs)``'s result."""
+        doc = {
+            "fn": f"{fn.__module__}:{fn.__qualname__}",
+            "args": canonical(list(args)),
+            "kwargs": canonical(dict(kwargs or {})),
+            "code": self.fingerprint,
+        }
+        blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.pkl")
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> tuple[bool, Any]:
+        """``(True, value)`` on a hit, ``(False, None)`` on a miss."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError,
+                AttributeError, ImportError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` atomically under ``key``."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<ResultCache root={self.root!r} hits={self.hits} "
+                f"misses={self.misses}>")

@@ -1,0 +1,122 @@
+"""Fan independent simulation cells out over a process pool.
+
+Every campaign in this repo — the figure sweeps, ``runall``, the chaos
+matrix, the variance study — is a grid of *cells*: pure functions of a
+params object that build their own engine, seed their own named random
+streams, and return a picklable result.  Cells share nothing, so they
+are embarrassingly parallel, and because randomness comes only from the
+seed inside the params, a parallel run is byte-identical to a serial
+one.  :func:`run_cells` is the single execution path all campaigns go
+through:
+
+* ``jobs=None`` or ``1`` — serial, in submission order (the default);
+* ``jobs=0`` — one worker per CPU;
+* ``jobs=N`` — an N-worker :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+A :class:`~repro.parallel.cache.ResultCache` layered underneath short-
+circuits cells whose content hash already has a stored result, so a
+warm rerun of an unchanged campaign costs only hashing and unpickling,
+and editing one cell's params recomputes exactly that cell.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from .cache import ResultCache
+from .transport import strip_observability
+
+#: Progress callback: ``(cell_key, status)`` with status one of
+#: ``"hit"`` (served from cache), ``"run"`` (computing), ``"done"``.
+Progress = Callable[[str, str], None]
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One independent unit of campaign work.
+
+    ``fn`` must be a module-level callable (workers import it by name)
+    and must return a picklable value; params objects should carry the
+    seed so the cell is a pure function of this spec.  ``cacheable=False``
+    opts a cell out of the result cache — used for cells whose point is
+    a filesystem side effect (telemetry bundles) rather than the return
+    value.
+    """
+
+    key: str
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    cacheable: bool = True
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: None/1 -> 1, 0 -> cpu_count."""
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _execute(spec: CellSpec) -> Any:
+    """Run one cell; strips live telemetry handles off the result so it
+    survives pickling (workers) and storage (cache) identically."""
+    return strip_observability(spec.fn(*spec.args, **dict(spec.kwargs)))
+
+
+def run_cells(
+    cells: Sequence[CellSpec],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[Progress] = None,
+) -> list[Any]:
+    """Execute every cell; return results in submission order.
+
+    The contract campaigns rely on: the returned list is positionally
+    aligned with ``cells`` no matter how execution interleaved, and the
+    values are identical whether computed serially, in parallel, or
+    served from a warm cache.
+    """
+    say = progress if progress is not None else (lambda _key, _status: None)
+    results: list[Any] = [None] * len(cells)
+    pending: list[int] = []
+
+    keys: dict[int, str] = {}
+    for index, spec in enumerate(cells):
+        if cache is not None and spec.cacheable:
+            key = cache.key_for(spec.fn, spec.args, spec.kwargs)
+            keys[index] = key
+            hit, value = cache.get(key)
+            if hit:
+                say(spec.key, "hit")
+                results[index] = value
+                continue
+        pending.append(index)
+
+    workers = resolve_jobs(jobs)
+    if workers <= 1 or len(pending) <= 1:
+        for index in pending:
+            say(cells[index].key, "run")
+            results[index] = _execute(cells[index])
+            say(cells[index].key, "done")
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            futures = {}
+            for index in pending:
+                say(cells[index].key, "run")
+                futures[index] = pool.submit(_execute, cells[index])
+            for index in pending:
+                results[index] = futures[index].result()
+                say(cells[index].key, "done")
+
+    if cache is not None:
+        for index in pending:
+            if index in keys:
+                cache.put(keys[index], results[index])
+    return results

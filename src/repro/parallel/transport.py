@@ -1,0 +1,84 @@
+"""Making scenario results safe to move between processes and to disk.
+
+Worker processes hand results back through ``pickle``; the cache stores
+the same pickles.  Two things would break that silently:
+
+* a live :class:`~repro.obs.api.Observability` attached to the result's
+  params — its clock is a closure over the (long gone) engine and does
+  not pickle; and
+* mixed numeric types in time series (``numpy.float64`` probes next to
+  plain floats) — they pickle, but render and compare differently.
+
+:func:`strip_observability` removes the first at the transport boundary
+(telemetry is exported to files *inside* the worker, never shipped as a
+live object).  The second is fixed at the source — ``TimeSeries.record``
+coerces to ``float`` — and :func:`to_jsonable` provides the canonical
+flat view the determinism tests compare byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from ..sim.monitor import TimeSeries
+
+
+def strip_observability(result: Any) -> Any:
+    """Detach any live telemetry context riding on ``result.params``.
+
+    The obs object is a sink the caller owns; by the time a result
+    crosses a process boundary its telemetry has already been written to
+    disk by the worker, so dropping the handle loses nothing.
+    """
+    params = getattr(result, "params", None)
+    if params is not None and getattr(params, "obs", None) is not None:
+        try:
+            params.obs = None
+        except (AttributeError, dataclasses.FrozenInstanceError):
+            pass
+    return result
+
+
+def _scalar(value: Any) -> Any:
+    """Collapse numpy-ish scalars to plain Python numbers."""
+    item = getattr(value, "item", None)
+    if item is not None and not isinstance(value, (int, float, str, bool)):
+        try:
+            return item()
+        except TypeError:
+            pass
+    return value
+
+
+def to_jsonable(value: Any) -> Any:
+    """A plain-JSON view of a result tree.
+
+    Dataclasses become dicts (tagged with their type name), time series
+    become ``{"series": name, "times": [...], "values": [...]}``, tuples
+    become lists, and numpy scalars collapse to Python numbers.  Two
+    results that serialize to the same JSON text are the same
+    measurement — this is the equality the determinism suite asserts
+    across serial, parallel, and cached executions.
+    """
+    value = _scalar(value)
+    if isinstance(value, TimeSeries):
+        return {
+            "series": value.name,
+            "times": [float(t) for t in value.times],
+            "values": [float(v) for v in value.values],
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        row: dict[str, Any] = {"__type__": type(value).__qualname__}
+        for field in dataclasses.fields(value):
+            row[field.name] = to_jsonable(getattr(value, field.name))
+        return row
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, float):
+        return value if value == value and value not in (float("inf"), float("-inf")) else repr(value)
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    return repr(value)

@@ -111,10 +111,25 @@ class Engine:
           clock finishes at exactly ``until``.
         * ``until`` is an :class:`Event`: run until it is processed and
           return its value (raising if it failed).
+
+        The dispatch loop is :meth:`step` inlined with the queue and
+        ``heappop`` bound to locals: this is the hottest path in every
+        experiment (see ``benchmarks/bench_micro.py``), and the heap
+        invariant plus the no-negative-delay check in :meth:`_schedule`
+        already guarantee time never runs backwards here.
         """
+        queue = self._queue
+        pop = heapq.heappop
+
         if until is None:
-            while self._queue:
-                self.step()
+            while queue:
+                when, _priority, _seq, event = pop(queue)
+                self._now = when
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event.defused:
+                    raise event._value
             return None
 
         if isinstance(until, Event):
@@ -124,10 +139,16 @@ class Engine:
                     return stop.value
                 stop.defuse()
                 raise stop.value
-            done = []
+            done: list[Event] = []
             stop.callbacks.append(done.append)
-            while self._queue and not done:
-                self.step()
+            while queue and not done:
+                when, _priority, _seq, event = pop(queue)
+                self._now = when
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event.defused:
+                    raise event._value
             if not done:
                 raise SimulationError("run(until=event): queue drained before event fired")
             if stop.ok:
@@ -140,8 +161,17 @@ class Engine:
             raise SimulationError(
                 f"run(until={horizon}) is in the past (now={self._now})"
             )
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+        # ``queue[0][0]`` is re-read only after dispatching an event that
+        # may have scheduled more work; the common timeout-fire path is a
+        # single pop, clock store, and callback call.
+        while queue and queue[0][0] <= horizon:
+            when, _priority, _seq, event = pop(queue)
+            self._now = when
+            callbacks, event.callbacks = event.callbacks, None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event.defused:
+                raise event._value
         self._now = horizon
         return None
 

@@ -28,13 +28,20 @@ class TimeSeries:
         self.values: list[float] = []
 
     def record(self, time: float, value: float) -> None:
-        """Append an observation; time must be non-decreasing."""
+        """Append an observation; time must be non-decreasing.
+
+        Both coordinates are coerced to plain ``float`` so a series is
+        uniformly typed no matter what the probe returned (ints, numpy
+        scalars) — a precondition for results that pickle/JSON
+        round-trip identically across processes and the result cache.
+        """
+        time = float(time)
         if self.times and time < self.times[-1]:
             raise ValueError(
                 f"series {self.name!r}: time went backwards ({time} < {self.times[-1]})"
             )
         self.times.append(time)
-        self.values.append(value)
+        self.values.append(float(value))
 
     def at(self, time: float, default: float = 0.0) -> float:
         """Value of the most recent observation at or before ``time``."""
@@ -50,6 +57,14 @@ class TimeSeries:
 
     def __iter__(self) -> Iterator[tuple[float, float]]:
         return iter(zip(self.times, self.values))
+
+    def __eq__(self, other: object) -> bool:
+        """Value equality, so result dataclasses holding series compare
+        (and therefore pickle round-trips can be asserted) exactly."""
+        if not isinstance(other, TimeSeries):
+            return NotImplemented
+        return (self.name == other.name and self.times == other.times
+                and self.values == other.values)
 
     @property
     def last(self) -> float:

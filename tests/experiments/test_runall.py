@@ -27,17 +27,35 @@ class TestScales:
 
 
 class TestWriteObservability:
-    def test_bundle_per_discipline(self, tmp_path):
+    def test_bundle_per_discipline_plus_combined(self, tmp_path):
         obs_dir = str(tmp_path / "obs")
         paths = write_observability(obs_dir, n_clients=3, duration=2.0)
-        assert sorted(os.listdir(obs_dir)) == sorted(
-            f"submit_{d}.{ext}"
-            for d in ("aloha", "ethernet", "fixed")
-            for ext in ("trace.json", "spans.jsonl", "prom", "report.txt")
+        expected = sorted(
+            [f"submit_{d}.{ext}"
+             for d in ("aloha", "ethernet", "fixed")
+             for ext in ("trace.json", "spans.jsonl", "prom", "report.txt")]
+            + [f"combined.{ext}"
+               for ext in ("trace.json", "spans.jsonl", "prom")]
         )
+        assert sorted(os.listdir(obs_dir)) == expected
         assert sorted(paths) == sorted(
             os.path.join(obs_dir, name) for name in os.listdir(obs_dir)
         )
+
+    def test_worker_telemetry_lands_in_combined_bundle(self, tmp_path):
+        """Bundles produced in worker processes merge into one parent
+        view instead of being dropped (runall --obs-dir --jobs N)."""
+        obs_dir = str(tmp_path / "obs")
+        write_observability(obs_dir, n_clients=3, duration=2.0, jobs=2)
+        combined = open(os.path.join(obs_dir, "combined.prom")).read()
+        for discipline in ("aloha", "ethernet", "fixed"):
+            assert f'discipline="{discipline}"' in combined
+        spans = open(os.path.join(obs_dir, "combined.spans.jsonl")).read()
+        assert spans.count("\n") >= 3
+        with open(os.path.join(obs_dir, "combined.trace.json")) as fh:
+            events = json.load(fh)
+        # One Chrome pid per source bundle keeps the cells separate.
+        assert len({e["pid"] for e in events}) == 3
 
     def test_exports_are_valid_and_labeled(self, tmp_path):
         obs_dir = str(tmp_path / "obs")

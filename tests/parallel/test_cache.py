@@ -1,0 +1,128 @@
+"""The content-addressed result cache: key derivation, invalidation
+triggers, and storage robustness."""
+
+import pickle
+
+import pytest
+
+from repro.clients.base import ALOHA, ETHERNET
+from repro.experiments.scenario_submit import SubmitParams, run_submission
+from repro.obs.api import Observability
+from repro.parallel.cache import (
+    ResultCache,
+    canonical,
+    canonical_json,
+    code_fingerprint,
+    default_cache_dir,
+)
+
+
+def params(**overrides):
+    base = dict(discipline=ETHERNET, n_clients=5, duration=5.0, seed=2003)
+    base.update(overrides)
+    return SubmitParams(**base)
+
+
+class TestCanonical:
+    def test_dataclass_tagged_with_type(self):
+        doc = canonical(params())
+        assert doc["__type__"] == "SubmitParams"
+        assert doc["n_clients"] == 5
+
+    def test_obs_field_is_not_semantic(self):
+        with_obs = params(obs=Observability())
+        assert canonical(with_obs) == canonical(params())
+
+    def test_json_is_key_order_independent(self):
+        assert (canonical_json({"b": 2, "a": 1})
+                == canonical_json({"a": 1, "b": 2}))
+
+    def test_callables_named_by_module_and_qualname(self):
+        doc = canonical(run_submission)
+        assert doc == "repro.experiments.scenario_submit:run_submission"
+
+
+class TestCodeFingerprint:
+    def test_stable_within_process(self):
+        assert code_fingerprint() == code_fingerprint()
+
+    def test_short_hex(self):
+        fingerprint = code_fingerprint()
+        assert len(fingerprint) == 16
+        int(fingerprint, 16)  # raises if not hex
+
+
+class TestKeys:
+    def test_same_inputs_same_key(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert (cache.key_for(run_submission, (params(),), {})
+                == cache.key_for(run_submission, (params(),), {}))
+
+    def test_param_change_forces_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = cache.key_for(run_submission, (params(),), {})
+        assert key != cache.key_for(run_submission,
+                                    (params(duration=6.0),), {})
+        assert key != cache.key_for(run_submission,
+                                    (params(discipline=ALOHA),), {})
+
+    def test_seed_change_forces_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert (cache.key_for(run_submission, (params(),), {})
+                != cache.key_for(run_submission, (params(seed=2004),), {}))
+
+    def test_code_fingerprint_change_forces_miss(self, tmp_path):
+        current = ResultCache(str(tmp_path))
+        edited = ResultCache(str(tmp_path), fingerprint="somebody-edited-src")
+        key = current.key_for(run_submission, (params(),), {})
+        stale_key = edited.key_for(run_submission, (params(),), {})
+        assert key != stale_key
+        current.put(key, "value")
+        hit, _ = edited.get(stale_key)
+        assert not hit
+
+    def test_function_identity_is_part_of_the_key(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert (cache.key_for(run_submission, (params(),), {})
+                != cache.key_for(canonical_json, (params(),), {}))
+
+
+class TestStorage:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put("k" * 64, {"answer": 42})
+        hit, value = cache.get("k" * 64)
+        assert hit and value == {"answer": 42}
+
+    def test_absent_key_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        hit, value = cache.get("absent" + "0" * 58)
+        assert not hit and value is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss_not_a_crash(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = "c" * 64
+        cache.put(key, [1, 2, 3])
+        path, = [p for p in tmp_path.rglob("*") if p.is_file()]
+        path.write_bytes(b"\x80not a pickle")
+        hit, value = cache.get(key)
+        assert not hit and value is None
+
+    def test_unpicklable_value_rejected(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        with pytest.raises((pickle.PicklingError, TypeError, AttributeError)):
+            cache.put("u" * 64, lambda: None)
+
+    def test_stats_counts(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.get("m" * 64)
+        cache.put("s" * 64, 1)
+        cache.get("s" * 64)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["stores"] == 1
+
+    def test_default_dir_honors_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == str(tmp_path / "custom")

@@ -1,0 +1,117 @@
+"""The contract the whole parallel layer sells: same seed means
+byte-identical campaign output whether cells ran serially, on a
+process pool, or out of a warm cache."""
+
+import json
+
+import pytest
+
+from repro.experiments.chaos import render_scorecard, run_chaos_campaign
+from repro.experiments.figure1 import render, run_figure1
+from repro.experiments.figure4 import render_figure4, run_buffer_sweep
+from repro.experiments.runall import Scale, campaign_cells
+from repro.parallel.cache import ResultCache
+from repro.parallel.executor import run_cells
+from repro.parallel.transport import to_jsonable
+
+from tests.experiments.test_chaos import TINY
+
+#: A seconds-scale runall grid covering every figure group.
+SMALL = Scale(
+    "test-small",
+    fig1_counts=(5, 10),
+    fig1_duration=10.0,
+    timeline_clients=10,
+    timeline_duration=30.0,
+    buffer_counts=(3, 6),
+    buffer_duration=10.0,
+    reader_duration=60.0,
+)
+
+
+def campaign_json(jobs=None, cache=None, seed=2003):
+    cells = [cell for group in campaign_cells(SMALL, seed).values()
+             for cell in group]
+    results = run_cells(cells, jobs=jobs, cache=cache)
+    return json.dumps([to_jsonable(result) for result in results],
+                      sort_keys=True)
+
+
+@pytest.mark.slow
+class TestRunallDeterminism:
+    def test_jobs_1_vs_jobs_4_vs_warm_cache(self, tmp_path):
+        serial = campaign_json(jobs=1)
+        parallel = campaign_json(jobs=4)
+        assert parallel == serial
+
+        cache = ResultCache(str(tmp_path))
+        cold = campaign_json(cache=cache)
+        assert cold == serial
+        misses_after_cold = cache.misses
+        warm = campaign_json(cache=cache)
+        assert warm == serial
+        # The warm pass recomputed nothing.
+        assert cache.hits == misses_after_cold
+        assert cache.misses == misses_after_cold
+
+    def test_figure_render_identical_across_modes(self, tmp_path):
+        kwargs = dict(counts=(4, 8), duration=8.0, seed=5)
+        serial = render(run_figure1(**kwargs))
+        assert render(run_figure1(**kwargs, jobs=4)) == serial
+        cache = ResultCache(str(tmp_path))
+        render(run_figure1(**kwargs, cache=cache))       # populate
+        warm = render(run_figure1(**kwargs, cache=cache))
+        assert warm == serial
+        assert cache.hits > 0
+
+    def test_buffer_sweep_identical_across_modes(self):
+        kwargs = dict(counts=(3, 5), duration=8.0, seed=5)
+        serial = render_figure4(run_buffer_sweep(**kwargs))
+        assert render_figure4(run_buffer_sweep(**kwargs, jobs=4)) == serial
+
+
+@pytest.mark.slow
+class TestChaosDeterminism:
+    def test_scorecard_identical_across_modes(self, tmp_path):
+        serial = run_chaos_campaign(TINY, seed=11)
+        parallel = run_chaos_campaign(TINY, seed=11, jobs=4)
+        assert parallel == serial
+        assert render_scorecard(parallel) == render_scorecard(serial)
+
+        cache = ResultCache(str(tmp_path))
+        run_chaos_campaign(TINY, seed=11, cache=cache)   # populate
+        recomputed = cache.misses
+        warm = run_chaos_campaign(TINY, seed=11, jobs=4, cache=cache)
+        assert render_scorecard(warm) == render_scorecard(serial)
+        # Every cell came from the cache on the warm pass.
+        assert cache.hits == recomputed
+        assert cache.misses == recomputed
+
+
+class TestCacheInvalidation:
+    def test_different_seed_is_a_different_campaign(self):
+        assert campaign_json(seed=2003) != campaign_json(seed=2004)
+
+    def test_seed_change_misses_warm_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        kwargs = dict(counts=(3,), duration=5.0)
+        run_figure1(**kwargs, seed=1, cache=cache)
+        assert cache.hits == 0
+        run_figure1(**kwargs, seed=2, cache=cache)
+        assert cache.hits == 0                  # nothing reusable
+        run_figure1(**kwargs, seed=1, cache=cache)
+        assert cache.hits > 0                   # same seed hits again
+
+    def test_param_change_misses_warm_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        run_figure1(counts=(3,), duration=5.0, seed=1, cache=cache)
+        run_figure1(counts=(3,), duration=6.0, seed=1, cache=cache)
+        assert cache.hits == 0
+
+    def test_code_change_misses_warm_cache(self, tmp_path):
+        before = ResultCache(str(tmp_path))
+        run_figure1(counts=(3,), duration=5.0, seed=1, cache=before)
+        after_edit = ResultCache(str(tmp_path), fingerprint="edited")
+        run_figure1(counts=(3,), duration=5.0, seed=1, cache=after_edit)
+        assert after_edit.hits == 0
+        assert after_edit.misses > 0

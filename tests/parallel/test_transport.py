@@ -1,0 +1,126 @@
+"""Results must cross the process and cache boundaries losslessly:
+pickle round-trips are value-identical and JSON views are stable for
+every scenario result type."""
+
+import json
+import math
+import pickle
+
+import pytest
+
+from repro.clients.base import ALOHA, ETHERNET
+from repro.experiments.scenario_buffer import BufferParams, run_buffer
+from repro.experiments.scenario_dag import DagParams, run_dag_scenario
+from repro.experiments.scenario_kangaroo import KangarooParams, run_kangaroo
+from repro.experiments.scenario_replica import ReplicaParams, run_replica
+from repro.experiments.scenario_submit import SubmitParams, run_submission
+from repro.obs.api import Observability
+from repro.parallel.transport import strip_observability, to_jsonable
+from repro.sim.monitor import TimeSeries
+
+#: One small run per scenario result type — every dataclass that can
+#: come back from a campaign cell must survive the trip.
+RESULT_FACTORIES = {
+    "submit": lambda: run_submission(
+        SubmitParams(discipline=ETHERNET, n_clients=4, duration=5.0,
+                     seed=7)),
+    "buffer": lambda: run_buffer(
+        BufferParams(discipline=ALOHA, n_producers=3, duration=5.0,
+                     seed=7)),
+    "replica": lambda: run_replica(
+        ReplicaParams(discipline=ETHERNET, duration=60.0, seed=7)),
+    "kangaroo": lambda: run_kangaroo(
+        KangarooParams(discipline=ALOHA, n_producers=3, duration=20.0,
+                       seed=7)),
+    "dag": lambda: run_dag_scenario(
+        DagParams(discipline=ETHERNET, n_users=2, layers=2, width=4,
+                  horizon=600.0, seed=7)),
+}
+
+
+@pytest.mark.parametrize("scenario", sorted(RESULT_FACTORIES))
+class TestRoundTrip:
+    def test_pickle_is_value_identical(self, scenario):
+        result = RESULT_FACTORIES[scenario]()
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone == result
+
+    def test_json_view_is_stable_across_pickle(self, scenario):
+        result = RESULT_FACTORIES[scenario]()
+        clone = pickle.loads(pickle.dumps(result))
+        assert (json.dumps(to_jsonable(clone), sort_keys=True)
+                == json.dumps(to_jsonable(result), sort_keys=True))
+
+    def test_rerun_equals_roundtrip(self, scenario):
+        """Same seed, fresh run == a pickled copy of the first run."""
+        first = pickle.loads(pickle.dumps(RESULT_FACTORIES[scenario]()))
+        second = RESULT_FACTORIES[scenario]()
+        assert first == second
+
+
+class TestTimeSeriesEquality:
+    def test_value_equality(self):
+        left, right = TimeSeries("x"), TimeSeries("x")
+        left.record(1, 2)
+        right.record(1.0, 2.0)
+        assert left == right
+
+    def test_name_and_data_distinguish(self):
+        left, right = TimeSeries("x"), TimeSeries("y")
+        assert left != right
+        same_name = TimeSeries("x")
+        same_name.record(1.0, 2.0)
+        assert TimeSeries("x") != same_name
+
+    def test_record_coerces_to_float(self):
+        series = TimeSeries("x")
+        series.record(1, 2)
+        assert isinstance(series.times[0], float)
+        assert isinstance(series.values[0], float)
+
+
+class TestStripObservability:
+    def test_live_obs_result_is_unpicklable_until_stripped(self):
+        params = SubmitParams(discipline=ETHERNET, n_clients=3,
+                              duration=3.0, seed=7, obs=Observability())
+        result = run_submission(params)
+        with pytest.raises((TypeError, AttributeError,
+                            pickle.PicklingError)):
+            pickle.dumps(result)
+        stripped = strip_observability(result)
+        assert stripped.params.obs is None
+        pickle.dumps(stripped)  # now crosses the boundary
+
+    def test_stripped_equals_plain_run(self):
+        with_obs = strip_observability(run_submission(
+            SubmitParams(discipline=ETHERNET, n_clients=3, duration=3.0,
+                         seed=7, obs=Observability())))
+        plain = run_submission(
+            SubmitParams(discipline=ETHERNET, n_clients=3, duration=3.0,
+                         seed=7))
+        assert with_obs == plain
+
+    def test_noop_without_obs_field(self):
+        assert strip_observability(42) == 42
+
+
+class TestToJsonable:
+    def test_timeseries_shape(self):
+        series = TimeSeries("jobs")
+        series.record(0.0, 1.0)
+        series.record(2.0, 3.0)
+        doc = to_jsonable(series)
+        assert doc == {"series": "jobs", "times": [0.0, 2.0],
+                       "values": [1.0, 3.0]}
+
+    def test_non_finite_floats_survive_json(self):
+        doc = to_jsonable({"a": math.inf, "b": math.nan})
+        json.dumps(doc)  # must not require allow_nan tricks
+        assert doc["a"] == "inf"
+
+    def test_dataclass_tagged(self):
+        params = SubmitParams(discipline=ETHERNET, n_clients=3,
+                              duration=3.0, seed=7)
+        doc = to_jsonable(params)
+        assert doc["__type__"] == "SubmitParams"
+        assert json.loads(json.dumps(doc))["n_clients"] == 3
