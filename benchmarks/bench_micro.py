@@ -50,6 +50,35 @@ def bench_engine_run_horizon(benchmark):
     assert benchmark(churn_to_horizon) == 50.0
 
 
+def bench_engine_interrupt_churn(benchmark):
+    """Interrupt delivery + waiter detach rate: park 1k processes on one
+    shared event, interrupt them all (the O(1)-cancellation hot path)."""
+
+    def churn():
+        engine = Engine()
+        barrier = engine.event()
+        survived = []
+
+        def waiter():
+            try:
+                yield barrier
+            except Exception:
+                survived.append(1)
+
+        targets = [engine.process(waiter()) for _ in range(1_000)]
+
+        def storm():
+            yield engine.timeout(1.0)
+            for target in targets:
+                target.interrupt("storm")
+
+        engine.process(storm())
+        engine.run()
+        return len(survived)
+
+    assert benchmark(churn) == 1_000
+
+
 def bench_engine_process_pingpong(benchmark):
     """Generator-process switching rate: two processes alternating."""
 

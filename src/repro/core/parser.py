@@ -27,6 +27,8 @@ position, so ``echo try`` still echoes the word "try"):
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from .ast_nodes import (
     Assignment,
     BoolOp,
@@ -426,3 +428,20 @@ class Parser:
 def parse(text: str, source_name: str = "<script>") -> Script:
     """Parse ftsh source text into a :class:`Script`."""
     return Parser(tokenize(text), source_name).parse_script()
+
+
+@lru_cache(maxsize=512)
+def parse_cached(text: str, source_name: str = "<script>") -> Script:
+    """Parse with memoization, returning a *shared* immutable Script.
+
+    Scenario campaigns re-run the same script text once per client per
+    replicate (hundreds of times per cell); the AST is a tree of frozen
+    dataclasses and the interpreter never mutates it (asserted by
+    ``tests/core/test_parse_cache.py``'s pretty-print canary), so one
+    parse per distinct ``(text, source_name)`` pair suffices.
+    ``source_name`` is part of the key because it is baked into the
+    Script for diagnostics.  Syntax errors are not cached — ``lru_cache``
+    only memoizes successful returns, so a failing parse re-raises with
+    its original diagnostics every time.
+    """
+    return parse(text, source_name)

@@ -31,7 +31,7 @@ from .backoff import BackoffPolicy, PAPER_POLICY
 from .errors import FtshCancelled, FtshFailure, FtshTimeout
 from .interpreter import Interpreter
 from ..obs.api import NULL_OBS
-from .parser import parse
+from .parser import parse, parse_cached
 from .realruntime import DEADLINE_ENV, RealDriver
 from .shell_log import ShellLog
 from .timeline import UNBOUNDED
@@ -111,7 +111,7 @@ class Ftsh:
         inherited ``FTSH_DEADLINE_EPOCH``).
         """
         if isinstance(script, str):
-            script = parse(script)
+            script = parse_cached(script)
 
         scope = Scope(dict(variables or {}), spool=self.spool)
         if self.log_level is None:

@@ -3,19 +3,26 @@
     python -m repro.experiments.bench --scale smoke --check   # CI gate
     python -m repro.experiments.bench --scale quick           # full numbers
 
-Times three things and writes them to ``BENCH_campaign.json`` (repo
+Times four things and writes them to ``BENCH_campaign.json`` (repo
 root by convention) so performance is a tracked number from PR to PR:
 
 * **engine** — raw event throughput of the discrete-event core
-  (schedule + dispatch timeouts through ``Engine.run``);
+  (schedule + dispatch timeouts through ``Engine.run``), plus the
+  ``run_horizon`` and ``interrupt_churn`` microbenches covering the
+  numeric-horizon loop and interrupt-storm cancellation;
+* **parse** — cold parses vs the memoized ``parse_cached`` path;
 * **campaign** — the ``runall``-style figure grid executed serially vs
-  on a process pool (``--jobs``), asserting the results are identical;
+  on a process pool (``--jobs``), asserting the results are identical
+  (annotated ``parallel_meaningful: false`` on a 1-CPU box, where pool
+  "speedup" is pure overhead);
 * **cache** — the same grid against a cold then a warm content-
   addressed result cache, asserting the warm run served every cell.
 
 ``--check`` additionally exits non-zero unless the JSON matches the
 schema and the parallel/cached runs reproduced the serial results
 exactly — that is the determinism contract ``repro.parallel`` sells.
+``--compare OLD.json`` diffs the fresh run against a saved document and
+exits non-zero if any tracked throughput metric dropped more than 25%.
 
 Wall-clock numbers vary by machine; the ``identical`` flags must not.
 """
@@ -31,13 +38,17 @@ import tempfile
 import time
 from dataclasses import dataclass
 
+from ..clients.base import ETHERNET
+from ..clients.scripts import reader_script
+from ..core.parser import parse, parse_cached
 from ..parallel.cache import ResultCache
 from ..parallel.executor import CellSpec, resolve_jobs, run_cells
 from ..parallel.transport import to_jsonable
 from ..sim.engine import Engine
+from ..sim.events import Interrupt
 from .runall import SCALES, Scale, campaign_cells
 
-SCHEMA = "repro.bench.campaign/1"
+SCHEMA = "repro.bench.campaign/2"
 
 #: Keys every benchmark document must carry (checked by ``--check``).
 REQUIRED = {
@@ -48,10 +59,21 @@ REQUIRED = {
     "jobs": int,
     "cells": int,
     "engine": dict,
+    "parse": dict,
     "campaign": dict,
     "cache": dict,
     "identical": dict,
 }
+
+#: Throughput metrics ``--compare`` holds to a floor (higher is better).
+COMPARE_METRICS = (
+    ("engine", "events_per_s"),
+    ("engine", "run_horizon", "events_per_s"),
+    ("engine", "interrupt_churn", "interrupts_per_s"),
+)
+
+#: Fractional throughput drop tolerated by ``--compare`` before failing.
+COMPARE_TOLERANCE = 0.25
 
 
 @dataclass(frozen=True)
@@ -60,6 +82,8 @@ class BenchScale:
 
     name: str
     engine_events: int
+    interrupt_waiters: int
+    parse_iterations: int
     campaign: Scale
 
 
@@ -67,6 +91,8 @@ BENCH_SCALES = {
     "smoke": BenchScale(
         "smoke",
         engine_events=30_000,
+        interrupt_waiters=5_000,
+        parse_iterations=200,
         campaign=Scale(
             "bench-smoke",
             fig1_counts=(10, 20),
@@ -79,8 +105,16 @@ BENCH_SCALES = {
         ),
     ),
     "quick": BenchScale("quick", engine_events=200_000,
+                        interrupt_waiters=20_000,
+                        parse_iterations=1_000,
                         campaign=SCALES["quick"]),
 }
+
+
+def _cpu_count() -> int:
+    """CPUs actually available to this process (affinity-aware on 3.13+)."""
+    probe = getattr(os, "process_cpu_count", os.cpu_count)
+    return probe() or 1
 
 
 def bench_engine(events: int) -> dict:
@@ -98,6 +132,83 @@ def bench_engine(events: int) -> dict:
     }
 
 
+def bench_run_horizon(events: int, horizon: float = 50.0) -> dict:
+    """The numeric-horizon loop the figure sweeps live in: dispatch the
+    subset of ``events`` timeouts (delays cycling 0..99) due by
+    ``horizon``."""
+    engine = Engine()
+    for i in range(events):
+        engine.timeout(float(i % 100))
+    # Delays cycle 0..99, so exactly the ones <= horizon dispatch.
+    due = int(horizon) + 1
+    dispatched = (events // 100) * due + min(events % 100, due)
+    started = time.perf_counter()
+    engine.run(until=horizon)
+    seconds = time.perf_counter() - started
+    return {
+        "events": events,
+        "dispatched": dispatched,
+        "seconds": round(seconds, 4),
+        "events_per_s": round(dispatched / seconds) if seconds else None,
+    }
+
+
+def bench_interrupt_churn(waiters: int) -> dict:
+    """Interrupt-storm cost: ``waiters`` processes park on one shared
+    event, then every one is interrupted.  Each resume must detach from
+    the shared target's callback list — O(1) tombstoning keeps the storm
+    linear (the old ``list.remove`` made it quadratic)."""
+    engine = Engine()
+    barrier = engine.event()
+
+    def wait():
+        try:
+            yield barrier
+        except Interrupt:
+            return
+
+    processes = [engine.process(wait()) for _ in range(waiters)]
+
+    def storm():
+        yield engine.timeout(1.0)
+        for process in processes:
+            process.interrupt()
+
+    engine.process(storm())
+    started = time.perf_counter()
+    engine.run()
+    seconds = time.perf_counter() - started
+    return {
+        "waiters": waiters,
+        "seconds": round(seconds, 4),
+        "interrupts_per_s": round(waiters / seconds) if seconds else None,
+    }
+
+
+def bench_parse(iterations: int) -> dict:
+    """Cold parses vs memoized :func:`parse_cached` on the paper's most
+    complex listing (what every simulated client re-parses per run)."""
+    text = reader_script(ETHERNET, ("alpha", "beta", "gamma"))
+    started = time.perf_counter()
+    for _ in range(iterations):
+        parse(text)
+    cold_s = time.perf_counter() - started
+    parse_cached.cache_clear()
+    started = time.perf_counter()
+    for _ in range(iterations):
+        parse_cached(text)
+    cached_s = time.perf_counter() - started
+    return {
+        "cold_vs_cached": {
+            "iterations": iterations,
+            "script_bytes": len(text),
+            "cold_s": round(cold_s, 4),
+            "cached_s": round(cached_s, 4),
+            "speedup": round(cold_s / cached_s, 1) if cached_s else None,
+        }
+    }
+
+
 def _flat_cells(scale: Scale, seed: int) -> list[CellSpec]:
     return [cell for cells in campaign_cells(scale, seed).values()
             for cell in cells]
@@ -111,7 +222,12 @@ def _fingerprint(results: list) -> str:
 
 def bench_campaign(scale: Scale, seed: int, jobs: int) -> tuple[dict, dict]:
     """Serial vs parallel wall clock, then cold vs warm cache, on the
-    same cell grid; both paths must reproduce the serial results."""
+    same cell grid; both paths must reproduce the serial results.
+
+    On a single-CPU box pool "speedup" is pure overhead, not signal, so
+    the section is annotated ``parallel_meaningful: false`` and the
+    speedup is left null rather than recording a misleading < 1 number.
+    """
     cells = _flat_cells(scale, seed)
 
     started = time.perf_counter()
@@ -122,11 +238,14 @@ def bench_campaign(scale: Scale, seed: int, jobs: int) -> tuple[dict, dict]:
     parallel = run_cells(cells, jobs=jobs)
     parallel_s = time.perf_counter() - started
 
+    parallel_meaningful = _cpu_count() > 1
     campaign = {
         "cells": len(cells),
         "serial_s": round(serial_s, 3),
         "parallel_s": round(parallel_s, 3),
-        "speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
+        "parallel_meaningful": parallel_meaningful,
+        "speedup": (round(serial_s / parallel_s, 2)
+                    if parallel_s and parallel_meaningful else None),
         "identical": _fingerprint(serial) == _fingerprint(parallel),
     }
 
@@ -156,15 +275,20 @@ def run_bench(scale_name: str, seed: int, jobs: int | None) -> dict:
     scale = BENCH_SCALES[scale_name]
     workers = resolve_jobs(4 if jobs is None else jobs)
     engine_doc = bench_engine(scale.engine_events)
+    engine_doc["run_horizon"] = bench_run_horizon(scale.engine_events)
+    engine_doc["interrupt_churn"] = bench_interrupt_churn(
+        scale.interrupt_waiters)
+    parse_doc = bench_parse(scale.parse_iterations)
     campaign_doc, cache_doc = bench_campaign(scale.campaign, seed, workers)
     return {
         "schema": SCHEMA,
         "scale": scale_name,
         "python": platform.python_version(),
-        "cpu_count": os.cpu_count() or 1,
+        "cpu_count": _cpu_count(),
         "jobs": workers,
         "cells": campaign_doc["cells"],
         "engine": engine_doc,
+        "parse": parse_doc,
         "campaign": campaign_doc,
         "cache": cache_doc,
         "identical": {
@@ -196,6 +320,44 @@ def check_document(doc: dict) -> list[str]:
     return problems
 
 
+def _dig(doc: dict, path: tuple[str, ...]):
+    """Walk nested keys; None on any miss."""
+    node = doc
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def compare_documents(old: dict, new: dict,
+                      tolerance: float = COMPARE_TOLERANCE) -> list[str]:
+    """Throughput regressions of ``new`` against a saved document.
+
+    Each :data:`COMPARE_METRICS` entry present in *both* documents must
+    not drop by more than ``tolerance`` (wall-clock noise is expected;
+    25% is well past it).  Metrics missing from the old document — e.g.
+    a schema/1 file predating the microbench sections — are skipped, so
+    old baselines stay comparable.
+    """
+    problems: list[str] = []
+    for path in COMPARE_METRICS:
+        old_value = _dig(old, path)
+        new_value = _dig(new, path)
+        if not isinstance(old_value, (int, float)) or isinstance(old_value, bool):
+            continue
+        if not isinstance(new_value, (int, float)) or isinstance(new_value, bool):
+            problems.append(f"{'.'.join(path)}: missing from fresh run")
+            continue
+        floor = old_value * (1.0 - tolerance)
+        if new_value < floor:
+            drop = (1.0 - new_value / old_value) * 100.0
+            problems.append(
+                f"{'.'.join(path)}: {new_value:,.0f} is {drop:.0f}% below "
+                f"the saved {old_value:,.0f} (floor {floor:,.0f})")
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", choices=sorted(BENCH_SCALES),
@@ -213,7 +375,17 @@ def main(argv=None) -> int:
         help="exit non-zero unless the schema holds and parallel/cached "
              "runs match serial byte-for-byte",
     )
+    parser.add_argument(
+        "--compare", metavar="OLD.json", default=None,
+        help="diff this run against a saved benchmark document and exit "
+             f"non-zero on a >{COMPARE_TOLERANCE:.0%} throughput drop",
+    )
     args = parser.parse_args(argv)
+
+    old_doc = None
+    if args.compare:
+        with open(args.compare, "r", encoding="utf-8") as handle:
+            old_doc = json.load(handle)
 
     doc = run_bench(args.scale, args.seed, args.jobs)
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -222,14 +394,25 @@ def main(argv=None) -> int:
     print(f"wrote {args.out}")
     print(json.dumps(doc, indent=2, sort_keys=True))
 
+    failed = False
     if args.check:
         problems = check_document(doc)
         if problems:
             for problem in problems:
                 print(f"CHECK FAILED: {problem}", file=sys.stderr)
-            return 1
-        print("check ok: schema valid, parallel and cached runs identical")
-    return 0
+            failed = True
+        else:
+            print("check ok: schema valid, parallel and cached runs identical")
+    if old_doc is not None:
+        regressions = compare_documents(old_doc, doc)
+        if regressions:
+            for regression in regressions:
+                print(f"COMPARE FAILED: {regression}", file=sys.stderr)
+            failed = True
+        else:
+            print(f"compare ok: no metric regressed past "
+                  f"{COMPARE_TOLERANCE:.0%} of {args.compare}")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

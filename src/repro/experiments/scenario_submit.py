@@ -15,7 +15,7 @@ from typing import Any
 
 from ..clients.base import Discipline
 from ..clients.scripts import submit_script
-from ..core.parser import parse
+from ..core.parser import parse_cached
 from ..core.shell_log import ShellLog
 from ..faults.injectors import FaultSpec, install_faults
 from ..grid.condor import CondorConfig, CondorWorld, register_condor_commands
@@ -97,7 +97,7 @@ def run_submission(params: SubmitParams) -> SubmitResult:
         sample_gauges(obs.metrics, engine, params.sample_interval,
                       until=params.duration)
 
-    script = parse(
+    script = parse_cached(
         submit_script(
             params.discipline,
             window=min(params.script_window, params.duration),

@@ -22,7 +22,7 @@ from typing import Iterable, Optional
 from ..clients.base import Discipline
 from ..clients.scripts import submit_script
 from ..core.errors import SimulationError
-from ..core.parser import parse
+from ..core.parser import parse_cached
 from ..sim.engine import Engine
 from ..sim.process import Process
 from ..simruntime.registry import CommandRegistry
@@ -214,7 +214,7 @@ class DagDispatcher:
         self.pool = pool
         self.stats = DagStats()
         self._inflight = 0
-        self._script = parse(
+        self._script = parse_cached(
             submit_script(discipline, window=submit_window,
                           carrier_threshold=carrier_threshold)
         )

@@ -1,13 +1,33 @@
-"""The discrete-event engine: a binary-heap event list and a virtual clock.
+"""The discrete-event engine: a two-tier event list and a virtual clock.
 
 Design notes (per the hpc-parallel guide: simple and legible first, then
-measured):
+measured — ``BENCH_campaign.json`` tracks the numbers):
 
-* The heap holds ``(time, priority, sequence, event)`` tuples.  The
-  monotonically increasing ``sequence`` makes ordering stable and FIFO
-  for same-time events, which the resource queues rely on for fairness.
+* Entries are ``(time, pseq, event)`` tuples where ``pseq`` packs the
+  dispatch priority above a monotonically increasing sequence counter
+  (``priority << 62 | seq``).  Ordering is therefore exactly the classic
+  ``(time, priority, sequence)`` key — stable and FIFO for same-time
+  events, which the resource queues rely on for fairness — but entries
+  compare in a single int comparison after the time, and the unique
+  ``seq`` guarantees comparisons never reach the event object.
 * Priority 0 is reserved for urgent deliveries (interrupts) so that an
   interrupt scheduled "now" beats ordinary events scheduled "now".
+* The event list is two-tiered: ``_heap`` receives every ``_schedule``
+  (a binary heap, as before), but whenever the dispatch loop finds the
+  heap has grown past a small threshold with nothing else pending it
+  sorts the backlog *once* into ``_run`` — a descending-sorted list
+  drained from the tail.  Popping a Python list tail is several times
+  faster than ``heappop`` (no sift-down, no per-level tuple compares),
+  so bulk workloads (the figure sweeps pre-schedule thousands of
+  timeouts) dispatch at array speed while incremental scheduling keeps
+  heap semantics.  Correctness does not depend on which tier an entry
+  sits in: the loop always dispatches the smaller of the run tail and
+  the heap head under the full ``(time, pseq)`` key.
+* Callback lists may contain ``None`` tombstones: detaching a waiter
+  (see :meth:`Process._resume`) is O(1) — it nulls its slot instead of
+  ``list.remove`` — and the dispatch loop skips dead slots.  Cancelled
+  timeouts therefore stay in the event list and are discarded when
+  popped rather than searched for.
 * A failed event that nobody defused re-raises at the engine loop:
   errors crash loudly instead of vanishing.
 """
@@ -15,10 +35,11 @@ measured):
 from __future__ import annotations
 
 import heapq
-from typing import Any, Optional
+from itertools import count
+from typing import Any, Callable, Optional
 
 from ..core.errors import SimulationError
-from .events import AllOf, AnyOf, Event, Timeout
+from .events import AllOf, AnyOf, Carrier, Event, Timeout
 from .process import Process, ProcessGenerator
 from .rng import RandomStreams
 
@@ -26,8 +47,19 @@ from .rng import RandomStreams
 PRIORITY_NORMAL = 1
 PRIORITY_URGENT = 0
 
+#: Bits reserved for the sequence counter below the packed priority.
+_SEQ_BITS = 62
+
 #: Value returned by :meth:`Engine.peek` when no events remain.
 INFINITY = float("inf")
+
+#: Heap backlogs larger than this are sorted into the fast run tier
+#: when the run is empty (below it, plain heappop wins).
+_MIGRATE_MIN = 16
+
+#: Upper bound on the carrier free list (enough for any realistic
+#: number of simultaneously in-flight resumes; excess is left to GC).
+_CARRIER_POOL_MAX = 64
 
 
 class Engine:
@@ -39,8 +71,14 @@ class Engine:
         streams: Optional[RandomStreams] = None,
     ) -> None:
         self._now = start_time
-        self._queue: list[tuple[float, int, int, Event]] = []
-        self._sequence = 0
+        #: Descending-sorted fast tier, drained from the tail.
+        self._run: list[tuple[float, int, Event]] = []
+        #: Insertion tier: a binary heap fed by :meth:`_schedule`.
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = count(1).__next__
+        #: Free list of consumed :class:`Carrier` events for
+        #: :meth:`immediate` (zero-alloc resume path).
+        self._carriers: list[Carrier] = []
         #: The process currently executing (for self-interrupt detection).
         self.active_process: Optional[Process] = None
         #: Named random streams shared by everything attached to this
@@ -81,24 +119,78 @@ class Engine:
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self._sequence += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._sequence, event))
+        heapq.heappush(
+            self._heap,
+            (self._now + delay, priority << _SEQ_BITS | self._seq(), event),
+        )
+
+    def immediate(
+        self,
+        ok: bool,
+        value: Any,
+        callback: Callable[[Event], None],
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``callback`` for the current instant without a fresh event.
+
+        The carrier delivered to the callback reports ``ok``/``value``
+        exactly like a triggered event; failed carriers arrive pre-defused
+        (the callback owns the outcome, the engine must not re-raise).
+        Carriers come from a free list — the common resume paths
+        (bootstrap, interrupts, already-resolved yields) allocate nothing
+        once the pool is warm.  Ordering obeys the normal
+        ``(time, priority, sequence)`` key, so an immediate still queues
+        FIFO behind same-instant events scheduled before it.
+        """
+        carriers = self._carriers
+        carrier = carriers.pop() if carriers else Carrier(self)
+        cbs = carrier._cbs
+        cbs[0] = callback
+        carrier.callbacks = cbs
+        carrier._ok = ok
+        carrier._value = value
+        carrier._defused = not ok
+        heapq.heappush(
+            self._heap,
+            (self._now, priority << _SEQ_BITS | self._seq(), carrier),
+        )
+        return carrier
+
+    def _recycle(self, carrier: Carrier) -> None:
+        """Return a consumed carrier to the free list (bounded)."""
+        if len(self._carriers) < _CARRIER_POOL_MAX:
+            self._carriers.append(carrier)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``INFINITY`` if none."""
-        return self._queue[0][0] if self._queue else INFINITY
+        if self._run:
+            run_head = self._run[-1][0]
+            return min(run_head, self._heap[0][0]) if self._heap else run_head
+        return self._heap[0][0] if self._heap else INFINITY
+
+    def _pop_entry(self) -> tuple[float, int, Event]:
+        """Remove and return the globally smallest entry (callers guard
+        against emptiness)."""
+        run_ = self._run
+        heap = self._heap
+        if run_:
+            if heap and heap[0] < run_[-1]:
+                return heapq.heappop(heap)
+            return run_.pop()
+        return heapq.heappop(heap)
 
     def step(self) -> None:
         """Process exactly one event."""
-        if not self._queue:
+        if not self._run and not self._heap:
             raise SimulationError("step() on an empty event queue")
-        when, _priority, _seq, event = heapq.heappop(self._queue)
+        when, _key, event = self._pop_entry()
         if when < self._now:
             raise SimulationError("event queue corrupted: time went backwards")
         self._now = when
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
-            callback(event)
+            if callback is not None:
+                callback(event)
         if not event._ok and not event.defused:
             exc = event._value
             raise exc
@@ -112,24 +204,50 @@ class Engine:
         * ``until`` is an :class:`Event`: run until it is processed and
           return its value (raising if it failed).
 
-        The dispatch loop is :meth:`step` inlined with the queue and
-        ``heappop`` bound to locals: this is the hottest path in every
-        experiment (see ``benchmarks/bench_micro.py``), and the heap
-        invariant plus the no-negative-delay check in :meth:`_schedule`
-        already guarantee time never runs backwards here.
+        The dispatch loops are :meth:`step` inlined with both queue tiers
+        bound to locals: this is the hottest path in every experiment
+        (see ``benchmarks/bench_micro.py``).  The heap invariant, the
+        descending sort of the run tier, and the no-negative-delay check
+        in :meth:`_schedule` together guarantee time never runs
+        backwards here.  ``self._now`` is only stored when an observer
+        exists (callbacks about to run, or an error about to raise) —
+        between empty-callback events nothing can read the clock.
         """
-        queue = self._queue
+        run_ = self._run
+        heap = self._heap
         pop = heapq.heappop
 
         if until is None:
-            while queue:
-                when, _priority, _seq, event = pop(queue)
-                self._now = when
-                callbacks, event.callbacks = event.callbacks, None
-                for callback in callbacks:
-                    callback(event)
-                if not event._ok and not event.defused:
+            when = self._now
+            while True:
+                if run_:
+                    entry = run_[-1]
+                    if heap and heap[0] < entry:
+                        entry = pop(heap)
+                    else:
+                        del run_[-1]
+                elif heap:
+                    if len(heap) > _MIGRATE_MIN:
+                        heap.sort(reverse=True)
+                        run_.extend(heap)
+                        del heap[:]
+                        entry = run_.pop()
+                    else:
+                        entry = pop(heap)
+                else:
+                    break
+                when, _key, event = entry
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    self._now = when
+                    for callback in callbacks:
+                        if callback is not None:
+                            callback(event)
+                if not event._ok and not event._defused:
+                    self._now = when
                     raise event._value
+            self._now = when
             return None
 
         if isinstance(until, Event):
@@ -141,16 +259,36 @@ class Engine:
                 raise stop.value
             done: list[Event] = []
             stop.callbacks.append(done.append)
-            while queue and not done:
-                when, _priority, _seq, event = pop(queue)
-                self._now = when
-                callbacks, event.callbacks = event.callbacks, None
-                for callback in callbacks:
-                    callback(event)
-                if not event._ok and not event.defused:
+            while not done:
+                if run_:
+                    entry = run_[-1]
+                    if heap and heap[0] < entry:
+                        entry = pop(heap)
+                    else:
+                        del run_[-1]
+                elif heap:
+                    if len(heap) > _MIGRATE_MIN:
+                        heap.sort(reverse=True)
+                        run_.extend(heap)
+                        del heap[:]
+                        entry = run_.pop()
+                    else:
+                        entry = pop(heap)
+                else:
+                    raise SimulationError(
+                        "run(until=event): queue drained before event fired"
+                    )
+                when, _key, event = entry
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    self._now = when
+                    for callback in callbacks:
+                        if callback is not None:
+                            callback(event)
+                if not event._ok and not event._defused:
+                    self._now = when
                     raise event._value
-            if not done:
-                raise SimulationError("run(until=event): queue drained before event fired")
             if stop.ok:
                 return stop.value
             stop.defuse()
@@ -161,19 +299,53 @@ class Engine:
             raise SimulationError(
                 f"run(until={horizon}) is in the past (now={self._now})"
             )
-        # ``queue[0][0]`` is re-read only after dispatching an event that
-        # may have scheduled more work; the common timeout-fire path is a
-        # single pop, clock store, and callback call.
-        while queue and queue[0][0] <= horizon:
-            when, _priority, _seq, event = pop(queue)
-            self._now = when
-            callbacks, event.callbacks = event.callbacks, None
-            for callback in callbacks:
-                callback(event)
-            if not event._ok and not event.defused:
+        while True:
+            if run_:
+                entry = run_[-1]
+                if heap and heap[0] < entry:
+                    if heap[0][0] > horizon:
+                        break
+                    entry = pop(heap)
+                else:
+                    if entry[0] > horizon:
+                        break
+                    del run_[-1]
+            elif heap:
+                if heap[0][0] > horizon:
+                    break
+                if len(heap) > _MIGRATE_MIN:
+                    # Only the entries due by the horizon need sorting into
+                    # the run tier; the rest stay behind as a (re-heapified)
+                    # backlog for a later run() call.  Sorting the due slice
+                    # plus an O(n) heapify of the remainder measures faster
+                    # than one n-log-n sort of the whole backlog.
+                    due = [e for e in heap if e[0] <= horizon]
+                    if len(due) < len(heap):
+                        heap[:] = [e for e in heap if e[0] > horizon]
+                        heapq.heapify(heap)
+                    else:
+                        del heap[:]
+                    due.sort(reverse=True)
+                    run_.extend(due)
+                    entry = run_.pop()
+                else:
+                    entry = pop(heap)
+            else:
+                break
+            when, _key, event = entry
+            callbacks = event.callbacks
+            event.callbacks = None
+            if callbacks:
+                self._now = when
+                for callback in callbacks:
+                    if callback is not None:
+                        callback(event)
+            if not event._ok and not event._defused:
+                self._now = when
                 raise event._value
         self._now = horizon
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Engine now={self._now:g} queued={len(self._queue)}>"
+        queued = len(self._run) + len(self._heap)
+        return f"<Engine now={self._now:g} queued={queued}>"

@@ -111,18 +111,40 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` simulated seconds after creation."""
+    """An event that fires ``delay`` simulated seconds after creation.
+
+    Negative delays are rejected by the one authoritative check in
+    :meth:`Engine._schedule` (every scheduling path funnels through it).
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
-        if delay < 0:
-            raise SimulationError(f"negative timeout delay: {delay}")
         super().__init__(engine)
         self.delay = delay
         self._ok = True
         self._value = value
         engine._schedule(self, delay=delay)
+
+
+class Carrier(Event):
+    """A reusable one-shot event used by :meth:`Engine.immediate`.
+
+    Carriers exist so the hot resume paths (process bootstrap,
+    interrupts, already-resolved yields) do not allocate a fresh
+    :class:`Event` plus callback list per resumption: the engine keeps a
+    free list of consumed carriers and :class:`~repro.sim.process.Process`
+    returns them after extracting the payload.  ``_cbs`` is the carrier's
+    permanent single-slot callback list, re-armed on every reuse (the
+    dispatch loop nulls ``callbacks`` but never mutates the list itself
+    for carriers — nothing external ever appends to or tombstones one).
+    """
+
+    __slots__ = ("_cbs",)
+
+    def __init__(self, engine: "Engine") -> None:
+        super().__init__(engine)
+        self._cbs: list[Callback | None] = [None]
 
 
 class ConditionValue:

@@ -6,6 +6,14 @@ processed (or throws the event's exception into it if the event failed).
 A :class:`Process` is itself an event, triggered when the generator
 returns — so processes can wait on each other, be combined with
 ``AllOf``/``AnyOf``, and be interrupted.
+
+Hot-path notes: every resume that is not "the target fired normally"
+(bootstrap, interrupts, already-resolved yields, bad-yield nudges) goes
+through :meth:`Engine.immediate`, which recycles carrier events instead
+of allocating; and detaching from a stale wait target (after an
+interrupt) tombstones the process' callback slot in O(1) instead of an
+O(n) ``list.remove`` — the stale event keeps its place in the event
+list and the dispatch loop discards the dead slot when it pops.
 """
 
 from __future__ import annotations
@@ -13,7 +21,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator
 
 from ..core.errors import SimulationError
-from .events import Event, Interrupt
+from .events import Carrier, Event, Interrupt
 
 if TYPE_CHECKING:  # pragma: no cover
     from .engine import Engine
@@ -28,7 +36,7 @@ class Process(Event):
     with its uncaught exception.
     """
 
-    __slots__ = ("generator", "_target", "name")
+    __slots__ = ("generator", "_target", "_target_slot", "_resume_cb", "name")
 
     def __init__(self, engine: "Engine", generator: ProcessGenerator, name: str = "") -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -37,17 +45,20 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         #: The event this process is currently waiting on (None if running
-        #: or terminated).
+        #: or terminated), and the index of our callback in its list —
+        #: callback lists only ever append, so the slot stays valid until
+        #: the event is processed.
         self._target: Event | None = None
-        # Kick off at the current simulation time.  Urgent priority so a
-        # process interrupted in its creation instant still *starts* before
-        # the interrupt lands (throwing into a never-started generator
-        # would bypass its try/except entirely).
-        bootstrap = Event(engine)
-        bootstrap._ok = True
-        bootstrap._value = None
-        bootstrap.callbacks.append(self._resume)
-        engine._schedule(bootstrap, priority=0)
+        self._target_slot = 0
+        #: The one bound method used for every callback registration, so
+        #: tombstoning can compare by identity (and each attach skips a
+        #: bound-method allocation).
+        self._resume_cb = self._resume
+        # Kick off at the current simulation time.  Urgent priority (0) so
+        # a process interrupted in its creation instant still *starts*
+        # before the interrupt lands (throwing into a never-started
+        # generator would bypass its try/except entirely).
+        engine.immediate(True, None, self._resume_cb, priority=0)
 
     @property
     def is_alive(self) -> bool:
@@ -64,12 +75,7 @@ class Process(Event):
             raise SimulationError(f"cannot interrupt terminated process {self.name!r}")
         if self is self.engine.active_process:
             raise SimulationError("a process cannot interrupt itself")
-        carrier = Event(self.engine)
-        carrier._ok = False
-        carrier._value = Interrupt(cause)
-        carrier._defused = True
-        carrier.callbacks.append(self._resume)
-        self.engine._schedule(carrier, priority=0)
+        self.engine.immediate(False, Interrupt(cause), self._resume_cb, priority=0)
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with ``event``'s outcome."""
@@ -77,20 +83,28 @@ class Process(Event):
             return  # a queued interrupt arrived after termination; drop it
         # Detach from the event we were waiting on (relevant for interrupts:
         # the original target may still fire later and must not resume us).
-        if self._target is not None and self._target is not event:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except (ValueError, AttributeError):
-                pass
+        # O(1): null our slot instead of searching the callback list; the
+        # dispatch loop skips tombstones.
+        target = self._target
+        if target is not None and target is not event:
+            stale = target.callbacks
+            if stale is not None and stale[self._target_slot] is self._resume_cb:
+                stale[self._target_slot] = None
         self._target = None
+
+        ok = event._ok
+        value = event._value
+        if not ok:
+            event.defuse()
+        if type(event) is Carrier:
+            self.engine._recycle(event)
 
         self.engine.active_process = self
         try:
-            if event.ok:
-                target = self.generator.send(event.value)
+            if ok:
+                target = self.generator.send(value)
             else:
-                event.defuse()
-                target = self.generator.throw(event.value)
+                target = self.generator.throw(value)
         except StopIteration as stop:
             self.engine.active_process = None
             self.succeed(stop.value)
@@ -106,25 +120,17 @@ class Process(Event):
             error = SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must yield events"
             )
-            carrier = Event(self.engine)
-            carrier._ok = False
-            carrier._value = error
-            carrier._defused = True
-            carrier.callbacks.append(self._resume)
-            self.engine._schedule(carrier)
+            self.engine.immediate(False, error, self._resume_cb)
             return
         if target.engine is not self.engine:
             raise SimulationError("process yielded an event from a different engine")
-        if target.processed:
+        callbacks = target.callbacks
+        if callbacks is None:
             # Already resolved: resume immediately (next engine step).
-            carrier = Event(self.engine)
-            carrier._ok = target._ok
-            carrier._value = target._value
-            if not target.ok:
+            if not target._ok:
                 target.defuse()
-                carrier._defused = True
-            carrier.callbacks.append(self._resume)
-            self.engine._schedule(carrier)
+            self.engine.immediate(target._ok, target._value, self._resume_cb)
         else:
-            target.callbacks.append(self._resume)
+            self._target_slot = len(callbacks)
+            callbacks.append(self._resume_cb)
             self._target = target

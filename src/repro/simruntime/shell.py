@@ -19,7 +19,7 @@ from ..core.ast_nodes import Script
 from ..core.backoff import BackoffPolicy, PAPER_POLICY
 from ..core.errors import FtshCancelled, FtshFailure, FtshTimeout
 from ..core.interpreter import Interpreter
-from ..core.parser import parse
+from ..core.parser import parse_cached
 from ..core.shell import RunResult
 from ..core.shell_log import ShellLog
 from ..obs.api import NULL_OBS
@@ -71,7 +71,7 @@ class SimFtsh:
         scenario loops can inspect success/failure without try/except.
         """
         if isinstance(script, str):
-            script = parse(script)
+            script = parse_cached(script)
         scope = Scope(dict(variables or {}))
         interpreter = Interpreter(scope=scope, policy=self.policy, log=self.log,
                                   obs=self.obs)

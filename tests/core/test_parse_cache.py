@@ -1,0 +1,103 @@
+"""The parse cache: memoized Scripts must be shared, distinct per
+source name, and — critically — immutable under interpretation.
+
+``parse_cached`` hands the *same* ``Script`` object to every caller of
+the same text, so any interpreter that mutated its AST would corrupt
+every later run.  The mutation canary executes a cached script under
+both runtimes and checks the canonical pretty-printing is unchanged.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.errors import FtshSyntaxError
+from repro.core.parser import parse, parse_cached
+from repro.core.pretty import format_script
+from repro.core.shell import Ftsh
+from repro.sim import Engine
+from repro.simruntime import CommandRegistry, SimFtsh
+
+SCRIPT = """
+try 2 times
+    probe alpha
+end
+"""
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    parse_cached.cache_clear()
+    yield
+    parse_cached.cache_clear()
+
+
+class TestMemoization:
+    def test_same_text_same_object(self):
+        assert parse_cached(SCRIPT) is parse_cached(SCRIPT)
+
+    def test_cache_matches_cold_parse(self):
+        assert parse_cached(SCRIPT) == parse(SCRIPT)
+
+    def test_different_text_different_object(self):
+        assert parse_cached("echo a\n") is not parse_cached("echo b\n")
+
+    def test_distinct_source_names_stay_distinct(self):
+        """Diagnostics carry the source name, so scripts cached under
+        different names must not be conflated."""
+        first = parse_cached(SCRIPT, "alpha.ftsh")
+        second = parse_cached(SCRIPT, "beta.ftsh")
+        assert first is not second
+        assert first.source_name == "alpha.ftsh"
+        assert second.source_name == "beta.ftsh"
+
+    def test_syntax_errors_not_cached(self):
+        bad = "try bogus\nend\n"
+        with pytest.raises(FtshSyntaxError):
+            parse_cached(bad)
+        with pytest.raises(FtshSyntaxError):  # raised again, not poisoned
+            parse_cached(bad)
+        assert parse_cached.cache_info().currsize == 0
+
+
+class TestMutationCanary:
+    def test_ast_nodes_are_frozen(self):
+        script = parse_cached(SCRIPT)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            script.source_name = "elsewhere"
+
+    def test_sim_runtime_leaves_cached_ast_untouched(self):
+        script = parse_cached(SCRIPT)
+        before = format_script(script)
+        engine = Engine()
+        registry = CommandRegistry()
+
+        @registry.register("probe")
+        def probe(ctx):
+            yield ctx.engine.timeout(0.1)
+            return 0
+
+        shell = SimFtsh(engine, registry)
+        result = shell.run(script)
+        assert result.success
+        assert format_script(script) == before
+        assert parse_cached(SCRIPT) is script
+
+    def test_real_runtime_leaves_cached_ast_untouched(self):
+        text = 'echo canary\n'
+        script = parse_cached(text)
+        before = format_script(script)
+        result = Ftsh().run(script)
+        assert result.success
+        assert format_script(script) == before
+        assert parse_cached(text) is script
+
+    def test_shell_str_path_uses_the_cache(self):
+        """Ftsh.run(str) routes through parse_cached: two runs of the
+        same text parse once."""
+        text = 'echo cached\n'
+        shell = Ftsh()
+        assert shell.run(text).success
+        assert parse_cached.cache_info().currsize == 1
+        assert shell.run(text).success
+        assert parse_cached.cache_info().hits >= 1

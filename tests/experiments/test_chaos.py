@@ -1,5 +1,7 @@
 """The chaos campaign: cell metrics, ordering check, determinism."""
 
+import pathlib
+
 import pytest
 
 from repro.experiments.chaos import (
@@ -134,6 +136,15 @@ class TestCampaign:
         text = render_scorecard(report)
         assert text.count("\n") >= len(report.cells)
         assert "seed=11" in text
+
+    def test_scorecard_byte_identical_to_golden(self):
+        """The tiny campaign is interrupt-heavy (fault windows cancel and
+        restart client processes), so this pins the kernel's dispatch
+        order byte-for-byte: any reordering in the event list shows up as
+        a diff against the committed scorecard."""
+        golden = (pathlib.Path(__file__).parent / "golden_chaos_tiny.txt")
+        text = render_scorecard(run_chaos_campaign(TINY, seed=11))
+        assert text == golden.read_text()
 
     @pytest.mark.slow
     def test_smoke_scale_ordering_holds(self):

@@ -84,7 +84,9 @@ def test_format_fixed_point_for_commands(words):
     """parse -> format reaches a fixed point in one step."""
     from repro.core.pretty import format_script
 
-    text = " ".join(words)
+    # Anchor with a command word: a generated first word could otherwise
+    # be a statement-initial keyword ("failure", "try", ...).
+    text = " ".join(["cmd"] + words)
     once = format_script(parse(text))
     twice = format_script(parse(once))
     assert once == twice

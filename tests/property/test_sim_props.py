@@ -92,3 +92,53 @@ def test_rng_derivation_stable(seed, name):
     a = RandomStreams(seed).stream(name).random()
     b = RandomStreams(seed).stream(name).random()
     assert a == b
+
+
+@given(st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+              st.sampled_from([0, 1])),  # PRIORITY_URGENT, PRIORITY_NORMAL
+    min_size=1, max_size=60,
+))
+def test_dispatch_order_is_time_priority_sequence(schedule):
+    """The full ordering key: dispatch order always equals the schedule
+    sorted by (time, priority, scheduling sequence)."""
+    engine = Engine()
+    fired = []
+    for seq, (delay, priority) in enumerate(schedule):
+        event = engine.event()
+        event._ok = True
+        event._value = seq
+        engine._schedule(event, delay=delay, priority=priority)
+        event.callbacks.append(lambda e: fired.append(e.value))
+    engine.run()
+    assert fired == sorted(
+        range(len(schedule)),
+        key=lambda i: (schedule[i][0], schedule[i][1], i),
+    )
+
+
+@given(st.integers(min_value=1, max_value=8))
+def test_urgent_interrupt_beats_same_instant_normal_events(n):
+    """An interrupt delivered "now" lands before ordinary events already
+    queued for the same instant (PRIORITY_URGENT)."""
+    engine = Engine()
+    order = []
+
+    def sleeper():
+        try:
+            yield engine.timeout(100)
+        except Exception:
+            order.append("interrupt")
+
+    target = engine.process(sleeper())
+
+    def interrupter():
+        yield engine.timeout(1.0)
+        for i in range(n):
+            engine.timeout(0).callbacks.append(
+                lambda e, i=i: order.append(i))
+        target.interrupt()
+
+    engine.process(interrupter())
+    engine.run()
+    assert order == ["interrupt"] + list(range(n))

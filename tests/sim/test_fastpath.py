@@ -1,0 +1,251 @@
+"""Fast-path kernel guarantees: ordering keys, the two-tier queue,
+tombstone cancellation, and the carrier free list.
+
+These tests pin the *observable* contract of the event list — the
+``(time, priority, sequence)`` ordering and O(1) cancellation — so the
+internals (packed keys, run/heap tiers, recycled carriers) can keep
+evolving without changing scenario output.
+"""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.sim import Engine, Interrupt
+from repro.sim.engine import (
+    _CARRIER_POOL_MAX,
+    _MIGRATE_MIN,
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+)
+from repro.sim.events import Carrier, Timeout
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+class TestOrderingKey:
+    def test_urgent_beats_normal_at_same_instant(self, engine):
+        order = []
+        engine.timeout(0).callbacks.append(lambda e: order.append("normal"))
+        engine.immediate(True, None, lambda e: order.append("urgent"),
+                         priority=PRIORITY_URGENT)
+        engine.run()
+        assert order == ["urgent", "normal"]
+
+    def test_urgent_does_not_jump_time(self, engine):
+        """Priority only breaks ties: an urgent event later in time still
+        waits for earlier normal events."""
+        order = []
+        engine.timeout(1.0).callbacks.append(lambda e: order.append("early"))
+
+        def arm_late_urgent(event):
+            order.append("now")
+            # An urgent delivery at t=2 must not preempt t=1.
+            engine._schedule(engine.event().succeed(), delay=2.0,
+                             priority=PRIORITY_URGENT)
+
+        engine.timeout(0).callbacks.append(arm_late_urgent)
+        engine.run()
+        assert order == ["now", "early"]
+
+    def test_same_priority_same_time_is_fifo(self, engine):
+        order = []
+        for i in range(2 * _MIGRATE_MIN):
+            engine.immediate(True, i, lambda e: order.append(e.value),
+                             priority=PRIORITY_URGENT)
+        engine.run()
+        assert order == list(range(2 * _MIGRATE_MIN))
+
+    def test_full_key_order_matches_sorted_triples(self, engine):
+        """Dispatch order is exactly sorted (time, priority, seq)."""
+        schedule = [
+            (3.0, PRIORITY_NORMAL), (1.0, PRIORITY_URGENT),
+            (1.0, PRIORITY_NORMAL), (0.0, PRIORITY_NORMAL),
+            (3.0, PRIORITY_URGENT), (1.0, PRIORITY_URGENT),
+            (0.0, PRIORITY_URGENT), (2.0, PRIORITY_NORMAL),
+        ]
+        fired = []
+        for seq, (delay, priority) in enumerate(schedule):
+            # A pre-resolved event scheduled by hand (what Timeout does,
+            # but with an explicit priority).
+            event = engine.event()
+            event._ok = True
+            event._value = seq
+            engine._schedule(event, delay=delay, priority=priority)
+            event.callbacks.append(lambda e: fired.append(e.value))
+        engine.run()
+        expected = sorted(
+            range(len(schedule)),
+            key=lambda i: (schedule[i][0], schedule[i][1], i),
+        )
+        assert fired == expected
+
+
+class TestTwoTierQueue:
+    def test_peek_sees_both_tiers(self, engine):
+        stop = engine.event()
+        for i in range(2 * _MIGRATE_MIN):
+            engine.timeout(5.0 + i)
+        engine.timeout(1.0).callbacks.append(lambda e: stop.succeed())
+        engine.run(until=stop)
+        # The backlog was migrated into the run tier; new entries land in
+        # the heap.  peek() must report the global minimum either way.
+        assert engine._run, "expected a migrated run tier"
+        engine.timeout(0.5)
+        assert engine._heap, "expected a fresh heap entry"
+        assert engine.peek() == pytest.approx(engine.now + 0.5)
+
+    def test_step_drains_both_tiers_in_order(self, engine):
+        fired = []
+        stop = engine.event()
+        for i in range(2 * _MIGRATE_MIN):
+            engine.timeout(5.0 + i).callbacks.append(
+                lambda e, i=i: fired.append(5.0 + i))
+        engine.timeout(1.0).callbacks.append(lambda e: stop.succeed())
+        engine.run(until=stop)
+        engine.timeout(0.5).callbacks.append(lambda e: fired.append("fresh"))
+        engine.step()  # heap entry is earlier than every run-tier entry
+        assert fired == ["fresh"]
+        engine.step()  # now the run tier's head
+        assert fired == ["fresh", 5.0]
+        engine.run()
+        assert fired == ["fresh"] + [5.0 + i for i in range(2 * _MIGRATE_MIN)]
+
+    def test_interleaved_run_calls_preserve_order(self, engine):
+        fired = []
+        for i in range(3 * _MIGRATE_MIN):
+            engine.timeout(float(i)).callbacks.append(
+                lambda e, i=i: fired.append(i))
+        engine.run(until=10.0)
+        assert fired == list(range(11))
+        for i in range(_MIGRATE_MIN):
+            engine.timeout(10.5)  # lands between the leftovers
+        engine.run()
+        assert fired == list(range(3 * _MIGRATE_MIN))
+
+
+class TestNegativeDelay:
+    """One authoritative check, in Engine._schedule, one message."""
+
+    MESSAGE = "cannot schedule into the past"
+
+    def test_engine_timeout(self, engine):
+        with pytest.raises(SimulationError, match=self.MESSAGE):
+            engine.timeout(-1)
+
+    def test_timeout_constructor(self, engine):
+        with pytest.raises(SimulationError, match=self.MESSAGE):
+            Timeout(engine, -0.5)
+
+    def test_message_names_the_delay(self, engine):
+        with pytest.raises(SimulationError, match=r"delay=-2\.5"):
+            engine.timeout(-2.5)
+
+
+class TestTombstoneCancellation:
+    def test_interrupted_waiter_leaves_others_untouched(self, engine):
+        barrier = engine.event()
+        results = {}
+
+        def waiter(tag):
+            try:
+                value = yield barrier
+                results[tag] = value
+            except Interrupt as interrupt:
+                results[tag] = f"int:{interrupt.cause}"
+
+        processes = [engine.process(waiter(i), name=f"w{i}") for i in range(6)]
+
+        def storm():
+            yield engine.timeout(1.0)
+            processes[1].interrupt("a")
+            processes[4].interrupt("b")
+            yield engine.timeout(1.0)
+            barrier.succeed("go")
+
+        engine.process(storm())
+        engine.run()
+        assert results == {0: "go", 2: "go", 3: "go", 5: "go",
+                           1: "int:a", 4: "int:b"}
+
+    def test_detach_is_a_tombstone_not_a_removal(self, engine):
+        """Interrupting a waiter nulls its slot in the target's callback
+        list instead of shrinking it — the O(1) cancellation path."""
+        barrier = engine.event()
+
+        def waiter():
+            try:
+                yield barrier
+            except Interrupt:
+                pass
+
+        process = engine.process(waiter())
+        engine.run(until=0.0)
+        assert len(barrier.callbacks) == 1
+        process.interrupt()
+        engine.step()  # deliver the interrupt: the waiter detaches
+        assert barrier.callbacks == [None]
+        barrier.succeed()
+        engine.run()  # dispatch skips the tombstone without error
+
+    def test_cancelled_timeout_discarded_on_pop(self, engine):
+        """The interrupted sleeper's original timeout stays queued but its
+        slot is dead; popping it later must not resume anyone."""
+        wakes = []
+
+        def sleeper():
+            try:
+                yield engine.timeout(10.0)
+            except Interrupt:
+                wakes.append(("interrupt", engine.now))
+            yield engine.timeout(100.0)
+            wakes.append(("late", engine.now))
+
+        target = engine.process(sleeper())
+
+        def interrupter():
+            yield engine.timeout(1.0)
+            target.interrupt()
+
+        engine.process(interrupter())
+        engine.run()
+        assert wakes == [("interrupt", 1.0), ("late", 101.0)]
+
+
+class TestCarrierPool:
+    def test_resume_path_recycles_carriers(self, engine):
+        def hopper():
+            for _ in range(5):
+                yield engine.timeout(0)  # non-carrier resumes
+        engine.run(until=engine.process(hopper()))
+        assert engine._carriers, "bootstrap carrier should be pooled"
+        pooled = engine._carriers[-1]
+        event = engine.immediate(True, None, lambda e: None)
+        assert event is pooled  # zero-alloc: reused, not reallocated
+
+    def test_pool_is_bounded(self, engine):
+        for _ in range(2 * _CARRIER_POOL_MAX):
+            engine._recycle(Carrier(engine))
+        assert len(engine._carriers) == _CARRIER_POOL_MAX
+
+    def test_failed_immediate_arrives_predefused(self, engine):
+        seen = []
+        error = RuntimeError("carried")
+        engine.immediate(False, error, seen.append)
+        engine.run()  # must not raise: the callback owns the failure
+        assert seen and seen[0]._value is error
+
+    def test_recycled_carrier_keeps_delivery_semantics(self, engine):
+        """Values delivered through a recycled carrier are not smeared by
+        earlier uses of the same object."""
+        seen = []
+
+        def chain(n):
+            if n:
+                engine.immediate(True, n, lambda e: (seen.append(e.value),
+                                                     chain(n - 1)))
+        chain(5)
+        engine.run()
+        assert seen == [5, 4, 3, 2, 1]
