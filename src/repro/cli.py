@@ -6,12 +6,16 @@ Usage::
     ftsh -c 'try for 5 seconds ...'  # run inline text
     ftsh -t 300 script.ftsh          # bound the whole run to 300 s
     ftsh --parse-only script.ftsh    # syntax check
+    ftsh --lint script.ftsh          # static analysis (repro.lint)
     ftsh -D host=xxx script.ftsh     # preset variables
     ftsh --log run.log script.ftsh   # write the execution log
 
 Exit status: 0 on script success, 1 on script failure/timeout,
 2 on syntax or usage errors — mirroring the success/failure dichotomy
-the language itself exposes.
+the language itself exposes.  The check-only modes share the same
+contract: ``--parse-only`` and ``--lint`` both exit 2 when the script
+does not parse and 0 when it is acceptable; ``--lint`` exits 1 when a
+finding reaches error severity (``-W error`` promotes warnings).
 """
 
 from __future__ import annotations
@@ -80,6 +84,15 @@ def build_argparser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--parse-only", action="store_true", help="syntax-check and exit"
+    )
+    parser.add_argument(
+        "--lint", action="store_true",
+        help="run the repro.lint rule pack and exit without running the "
+        "script (exit 1 on error-severity findings, 2 on parse errors)",
+    )
+    parser.add_argument(
+        "-W", dest="lint_warnings", choices=("error",), metavar="error",
+        help="with --lint: treat warnings as errors",
     )
     parser.add_argument(
         "--format", action="store_true",
@@ -179,7 +192,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except FtshSyntaxError as exc:
         print(f"ftsh: {name}: {exc}", file=sys.stderr)
         return 2
-    if args.parse_only:
+    except RecursionError:
+        # Pathologically deep nesting overflows the recursive-descent
+        # parser; for the exit-code contract that is a parse error (2),
+        # not a crash — for --parse-only, --lint, and plain runs alike.
+        print(f"ftsh: {name}: syntax error: nesting too deep to parse",
+              file=sys.stderr)
+        return 2
+    if args.parse_only and not args.lint:
         return 0
     if args.format:
         from .core.pretty import format_script
@@ -194,6 +214,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"ftsh: bad -D {item!r}; expected NAME=VALUE", file=sys.stderr)
             return 2
         variables[key] = value
+
+    if args.lint:
+        from .lint.engine import LintConfig, has_errors, lint_script
+
+        config = LintConfig(
+            warn_as_error=args.lint_warnings == "error",
+            assume_defined=frozenset(variables),
+        )
+        diagnostics = lint_script(script, text, source_name=name,
+                                  config=config)
+        for diag in diagnostics:
+            print(f"ftsh: {diag.gcc()}", file=sys.stderr)
+            if diag.suggestion:
+                print(f"ftsh:     fix: {diag.suggestion}", file=sys.stderr)
+        return 1 if has_errors(diagnostics) else 0
 
     timeout: Optional[float] = None
     if args.timeout is not None:

@@ -10,6 +10,12 @@ The *fixed* discipline uses the same script as Aloha with a zero-delay
 backoff policy (see :data:`repro.clients.base.FIXED`) — structurally the
 client still loops on failure, it just never waits, exactly as described
 in §5.
+
+The Aloha variants acquire their shared resource without a carrier-sense
+probe *on purpose* — that is the behaviour the figures compare against —
+so those lines carry ``# lint: disable=FTL010`` markers to keep
+``repro.lint`` (which exists to reject that pattern in real scripts)
+quiet about the deliberate baseline.
 """
 
 from __future__ import annotations
@@ -68,7 +74,7 @@ end
 """
     return f"""
 try for {limit}
-    condor_submit submit.job
+    condor_submit submit.job  # lint: disable=FTL010
 end
 """
 
@@ -103,7 +109,7 @@ end
     return f"""
 produce_output {size_mb:.6f}
 try for {limit}
-    store_output
+    store_output  # lint: disable=FTL010
 end
 """
 
@@ -173,7 +179,7 @@ end
 try for {limit}
     forany host in {host_list}
         try for {data_limit}
-            wget http://${{host}}/data
+            wget http://${{host}}/data  # lint: disable=FTL010
         end
     end
 end

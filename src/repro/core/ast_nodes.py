@@ -48,6 +48,7 @@ class Command:
     words: tuple[Word, ...]
     redirects: tuple[Redirect, ...] = ()
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,6 +58,7 @@ class Assignment:
     name: str
     value: Word
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -64,6 +66,7 @@ class FailureAtom:
     """The ``failure`` command: unconditionally fail (throw)."""
 
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -71,6 +74,7 @@ class SuccessAtom:
     """The ``success`` command: unconditionally succeed (no-op)."""
 
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -87,6 +91,7 @@ class FunctionDef:
     name: str
     body: "Group"
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -95,6 +100,7 @@ class Group:
 
     body: tuple["Statement", ...]
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -106,11 +112,18 @@ class TryLimits:
     ``every`` — fixed retry interval in seconds overriding exponential
     backoff (an extension from the ftsh technical report).
     A ``try forever`` has all three None.
+
+    ``duration_unit`` / ``every_unit`` keep the unit word as written in
+    the source (``"seconds"``, ``"h"``, …) so style tools — the linter's
+    time-literal checks, notably — can tell ``86400 seconds`` from
+    ``1 day`` after normalization.
     """
 
     duration: Optional[float] = None
     attempts: Optional[int] = None
     every: Optional[float] = None
+    duration_unit: Optional[str] = None
+    every_unit: Optional[str] = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -121,6 +134,7 @@ class Try:
     body: Group
     catch: Optional[Group] = None
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -131,6 +145,7 @@ class ForAny:
     values: tuple[Word, ...]
     body: Group
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -142,6 +157,7 @@ class ForAll:
     values: tuple[Word, ...]
     body: Group
     line: int = 0
+    column: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -210,6 +226,7 @@ class If:
     then: Group
     orelse: Optional[Group] = None
     line: int = 0
+    column: int = 0
 
 
 Statement = Union[

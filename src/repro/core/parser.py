@@ -142,7 +142,7 @@ class Parser:
                 # e.g. 'else' inside a forany body, or stray 'end'.
                 break
             statements.append(self._parse_statement())
-        return Group(tuple(statements), line=first.line)
+        return Group(tuple(statements), line=first.line, column=first.column)
 
     def _parse_statement(self) -> Statement:
         keyword = self._peek_keyword()
@@ -157,11 +157,11 @@ class Parser:
         if keyword == "failure":
             token = self._advance()
             self._expect_newline("'failure'")
-            return FailureAtom(line=token.line)
+            return FailureAtom(line=token.line, column=token.column)
         if keyword == "success":
             token = self._advance()
             self._expect_newline("'success'")
-            return SuccessAtom(line=token.line)
+            return SuccessAtom(line=token.line, column=token.column)
         assignment = self._try_parse_assignment()
         if assignment is not None:
             return assignment
@@ -191,7 +191,7 @@ class Parser:
             value_parts.append(Literal(rest, first.quoted))
         value_parts.extend(word.parts[1:])
         value = Word(tuple(value_parts), word.line, word.column)
-        return Assignment(name, value, line=token.line)
+        return Assignment(name, value, line=token.line, column=token.column)
 
     def _parse_command(self) -> Command:
         token = self._peek()
@@ -218,7 +218,8 @@ class Parser:
         if not words:
             raise self._error("redirection with no command", token)
         self._expect_newline("command")
-        return Command(tuple(words), tuple(redirects), line=token.line)
+        return Command(tuple(words), tuple(redirects), line=token.line,
+                       column=token.column)
 
     # -- try ----------------------------------------------------------------
     def _parse_try(self) -> Try:
@@ -232,12 +233,15 @@ class Parser:
             self._expect_newline("'catch'")
             catch = self._parse_statements(stop=frozenset({"end"}))
         self._expect_block_end("try", try_token)
-        return Try(limits, body, catch, line=try_token.line)
+        return Try(limits, body, catch, line=try_token.line,
+                   column=try_token.column)
 
     def _parse_try_limits(self, try_token: Token) -> TryLimits:
         duration: float | None = None
         attempts: int | None = None
         every: float | None = None
+        duration_unit: str | None = None
+        every_unit: str | None = None
         saw_clause = False
         if self._peek_keyword() == "forever":
             self._advance()
@@ -251,12 +255,12 @@ class Parser:
                 if duration is not None:
                     raise self._error("duplicate 'for' clause in try")
                 self._advance()
-                duration = self._parse_duration("try for")
+                duration, duration_unit = self._parse_duration("try for")
             elif keyword == "every":
                 if every is not None:
                     raise self._error("duplicate 'every' clause in try")
                 self._advance()
-                every = self._parse_duration("try every")
+                every, every_unit = self._parse_duration("try every")
             else:
                 # expect: NUMBER times
                 count = self._parse_count_clause()
@@ -273,9 +277,11 @@ class Parser:
             raise self._error(
                 "try needs a limit: 'for <time>', '<n> times' or 'forever'", try_token
             )
-        return TryLimits(duration=duration, attempts=attempts, every=every)
+        return TryLimits(duration=duration, attempts=attempts, every=every,
+                         duration_unit=duration_unit, every_unit=every_unit)
 
-    def _parse_duration(self, context: str) -> float:
+    def _parse_duration(self, context: str) -> tuple[float, str]:
+        """Parse ``NUMBER UNIT``; returns (seconds, unit-as-written)."""
         number_word = self._expect_word(context)
         text = number_word.literal_text()
         try:
@@ -288,7 +294,7 @@ class Parser:
         unit = unit_word.literal_text() or ""
         if not is_time_unit(unit):
             raise self._error(f"expected a time unit in {context!r}, got {unit_word}")
-        return duration_seconds(amount, unit)
+        return duration_seconds(amount, unit), unit
 
     def _parse_count_clause(self) -> int | None:
         token = self._peek()
@@ -315,7 +321,7 @@ class Parser:
         self._expect_newline("'function' header")
         body = self._parse_statements(stop=frozenset({"end"}))
         self._expect_block_end("function", head)
-        return FunctionDef(name, body, line=head.line)
+        return FunctionDef(name, body, line=head.line, column=head.column)
 
     # -- forany / forall ------------------------------------------------------
     def _parse_forloop(self, keyword: str) -> ForAny | ForAll:
@@ -336,7 +342,7 @@ class Parser:
         body = self._parse_statements(stop=frozenset({"end"}))
         self._expect_block_end(keyword, head)
         node = ForAny if keyword == "forany" else ForAll
-        return node(var, tuple(values), body, line=head.line)
+        return node(var, tuple(values), body, line=head.line, column=head.column)
 
     # -- if ---------------------------------------------------------------------
     def _parse_if(self) -> If:
@@ -350,7 +356,7 @@ class Parser:
             self._expect_newline("'else'")
             orelse = self._parse_statements(stop=frozenset({"end"}))
         self._expect_block_end("if", head)
-        return If(condition, then, orelse, line=head.line)
+        return If(condition, then, orelse, line=head.line, column=head.column)
 
     def _parse_expr(self, head: Token) -> Expr:
         expr = self._parse_or(head)

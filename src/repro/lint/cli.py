@@ -1,0 +1,184 @@
+"""``python -m repro.lint`` — the stand-alone lint front end.
+
+Usage::
+
+    python -m repro.lint script.ftsh            # one file, human output
+    python -m repro.lint examples/ tests/       # directories: every *.ftsh
+    python -m repro.lint --format json …        # machine-readable report
+    python -m repro.lint -W error …             # warnings fail the build
+    python -m repro.lint --select FTL001,FTL002 # only these rules
+    python -m repro.lint --list-rules           # print the rule catalogue
+
+Exit status mirrors ``ftsh``: 0 when no finding reaches error severity,
+1 when one does (``-W error`` promotes every warning), 2 on usage,
+unreadable-file, or syntax errors — a file static analysis cannot parse
+is a failure of the *input*, exactly as with ``ftsh --parse-only``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import os
+import sys
+from typing import Optional, Sequence
+
+from ..core.errors import FtshSyntaxError
+from .diagnostics import Diagnostic, Severity, diagnostics_to_json
+from .engine import LintConfig, has_errors, lint_file
+from .rules import RULES
+
+
+def iter_script_files(paths: Sequence[str],
+                      exclude: Sequence[str] = ()) -> tuple[list[str], list[str]]:
+    """Expand files and directories into a sorted list of ``*.ftsh`` files.
+
+    Directories are walked recursively; explicit file arguments are taken
+    as-is (whatever their extension).  Returns ``(files, missing)`` where
+    ``missing`` lists arguments that name nothing on disk.
+    """
+    files: list[str] = []
+    missing: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                for name in sorted(names):
+                    if name.endswith(".ftsh"):
+                        files.append(os.path.join(root, name))
+        elif os.path.exists(path):
+            files.append(path)
+        else:
+            missing.append(path)
+    normalized = []
+    for path in sorted(dict.fromkeys(files)):
+        posix = path.replace(os.sep, "/")
+        if any(fnmatch.fnmatch(posix, pat) or pat in posix for pat in exclude):
+            continue
+        normalized.append(path)
+    return normalized, missing
+
+
+def _parse_codes(text: str) -> frozenset[str]:
+    return frozenset(code.strip().upper() for code in text.split(",") if code.strip())
+
+
+def build_argparser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Static analysis for ftsh scripts: reject the paper's "
+        "failure-discipline anti-patterns before anything runs.",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="script files, or directories to scan for *.ftsh",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="diagnostic output format (default: text, GCC style)",
+    )
+    parser.add_argument(
+        "-W", dest="warnings", choices=("error",), metavar="error",
+        help="-W error: treat warnings as errors (build-gating mode)",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--disable", metavar="CODES", default="",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--exclude", action="append", default=[], metavar="GLOB",
+        help="skip files matching this glob/substring (repeatable)",
+    )
+    parser.add_argument(
+        "-D", "--define", action="append", default=[], metavar="NAME[=VALUE]",
+        help="treat NAME as externally defined (like ftsh -D; repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _list_rules(out) -> None:
+    for code in sorted(RULES):
+        cls = RULES[code]
+        print(f"{code}  {cls.name:<22} {cls.severity.label:<8} "
+              f"{cls.summary} [{cls.paper}]", file=out)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_argparser().parse_args(argv)
+    if args.list_rules:
+        _list_rules(sys.stdout)
+        return 0
+    if not args.paths:
+        print("repro.lint: no files or directories given", file=sys.stderr)
+        return 2
+
+    select = _parse_codes(args.select) if args.select else None
+    if select is not None:
+        unknown = select - set(RULES)
+        if unknown:
+            print(f"repro.lint: unknown rule codes: {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+    config = LintConfig(
+        warn_as_error=args.warnings == "error",
+        disable=_parse_codes(args.disable),
+        select=select,
+        assume_defined=frozenset(
+            item.partition("=")[0] for item in args.define
+        ),
+    )
+
+    files, missing = iter_script_files(args.paths, exclude=args.exclude)
+    for path in missing:
+        print(f"repro.lint: cannot read {path}: no such file or directory",
+              file=sys.stderr)
+    if missing:
+        return 2
+
+    per_file: dict[str, list[Diagnostic]] = {}
+    broken = False
+    for path in files:
+        try:
+            per_file[path] = lint_file(path, config=config)
+        except FtshSyntaxError as exc:
+            print(f"repro.lint: {path}: syntax error: {exc}", file=sys.stderr)
+            broken = True
+        except RecursionError:
+            print(f"repro.lint: {path}: syntax error: nesting too deep to "
+                  "analyze", file=sys.stderr)
+            broken = True
+        except OSError as exc:
+            print(f"repro.lint: cannot read {path}: {exc}", file=sys.stderr)
+            broken = True
+
+    if args.format == "json":
+        print(diagnostics_to_json(per_file))
+    else:
+        findings = 0
+        for path in sorted(per_file):
+            for diag in per_file[path]:
+                findings += 1
+                print(diag.gcc())
+                if diag.suggestion:
+                    print(f"    fix: {diag.suggestion}")
+        checked = len(per_file)
+        noun = "file" if checked == 1 else "files"
+        print(f"repro.lint: {checked} {noun} checked, "
+              f"{findings} finding{'s' if findings != 1 else ''}")
+
+    if broken:
+        return 2
+    if any(has_errors(diags) for diags in per_file.values()):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Structured lint diagnostics and their renderings.
+
+A :class:`Diagnostic` is one finding: a stable ``FTL###`` code, a
+severity, a source span, a message, and (where the rule can offer one) a
+suggested fix.  Two renderings are supported:
+
+* GCC style, one finding per line, for humans and editors::
+
+      script.ftsh:3:1: warning: 'try' has no time or attempt bound [FTL001]
+
+* JSON, for CI gates and tooling (see :func:`diagnostics_to_json`).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional
+
+
+class Severity(enum.IntEnum):
+    """Finding severities, ordered so ``max()`` picks the worst."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One lint finding, anchored to a source span."""
+
+    code: str                   #: stable rule code, e.g. ``"FTL001"``
+    severity: Severity
+    message: str
+    source: str = "<script>"    #: file name (or ``<script>`` for text input)
+    line: int = 0               #: 1-based; 0 = whole file
+    column: int = 0             #: 1-based; 0 = whole line
+    suggestion: Optional[str] = None   #: suggested fix, free text
+    rule: str = ""              #: short rule name, e.g. ``"unbounded-try"``
+    paper: str = ""             #: paper section the rule is grounded in
+    extra: tuple[tuple[str, object], ...] = field(default=())
+
+    def gcc(self) -> str:
+        """Render GCC-style: ``file:line:col: severity: message [CODE]``."""
+        where = self.source
+        if self.line:
+            where += f":{self.line}"
+            if self.column:
+                where += f":{self.column}"
+        return f"{where}: {self.severity.label}: {self.message} [{self.code}]"
+
+    def to_dict(self) -> dict:
+        """A JSON-ready mapping with a stable key order."""
+        out: dict[str, object] = {
+            "code": self.code,
+            "severity": self.severity.label,
+            "message": self.message,
+            "source": self.source,
+            "line": self.line,
+            "column": self.column,
+        }
+        if self.rule:
+            out["rule"] = self.rule
+        if self.paper:
+            out["paper"] = self.paper
+        if self.suggestion:
+            out["suggestion"] = self.suggestion
+        for key, value in self.extra:
+            out[key] = value
+        return out
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> list[Diagnostic]:
+    """Stable presentation order: position first, then code."""
+    return sorted(diagnostics,
+                  key=lambda d: (d.source, d.line, d.column, d.code))
+
+
+def promote_warnings(diagnostics: Iterable[Diagnostic]) -> list[Diagnostic]:
+    """Apply ``-W error``: every warning becomes an error (info stays)."""
+    return [
+        replace(d, severity=Severity.ERROR)
+        if d.severity is Severity.WARNING else d
+        for d in diagnostics
+    ]
+
+
+def worst_severity(diagnostics: Iterable[Diagnostic]) -> Optional[Severity]:
+    """The highest severity present, or None for a clean result."""
+    worst: Optional[Severity] = None
+    for diag in diagnostics:
+        if worst is None or diag.severity > worst:
+            worst = diag.severity
+    return worst
+
+
+def diagnostics_to_json(per_file: dict[str, list[Diagnostic]], *,
+                        indent: int = 2) -> str:
+    """Render the machine-readable report for a set of linted files."""
+    files = []
+    totals = {"error": 0, "warning": 0, "info": 0}
+    for path in sorted(per_file):
+        diags = sort_diagnostics(per_file[path])
+        for diag in diags:
+            totals[diag.severity.label] += 1
+        files.append({
+            "path": path,
+            "diagnostics": [d.to_dict() for d in diags],
+        })
+    document = {
+        "version": 1,
+        "tool": "repro.lint",
+        "files": files,
+        "summary": {
+            "files": len(files),
+            "errors": totals["error"],
+            "warnings": totals["warning"],
+            "info": totals["info"],
+        },
+    }
+    return json.dumps(document, indent=indent, sort_keys=False)

@@ -1,0 +1,171 @@
+"""The lint engine: run a rule pack over a parsed script.
+
+The engine owns everything that is *not* a rule: parsing, the rule
+registry, suppression comments, ``-W error`` promotion, and ordering.
+Rules (:mod:`repro.lint.rules`) are small objects with a stable code, a
+default severity, and a ``check`` method that walks the frozen AST
+(:mod:`repro.core.visitor`) and reports findings through the shared
+:class:`LintContext`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from ..core import ast_nodes as ast
+from ..core.parser import parse
+from .diagnostics import (
+    Diagnostic,
+    Severity,
+    promote_warnings,
+    sort_diagnostics,
+)
+from .suppress import SuppressionMap
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class LintConfig:
+    """Options shared by every front end (CLI, ``ftsh --lint``, REPL).
+
+    ``assume_defined`` lists variable names bound *outside* the script —
+    ``-D`` presets on the command line, the persistent scope of a REPL
+    session — so the dataflow rules do not cry wolf about them.
+    """
+
+    warn_as_error: bool = False
+    disable: frozenset[str] = frozenset()
+    select: Optional[frozenset[str]] = None
+    assume_defined: frozenset[str] = frozenset()
+
+
+class Rule:
+    """Base class for one lint check.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    reporting findings with :meth:`report`.
+    """
+
+    code: str = "FTL000"
+    name: str = "unnamed"
+    severity: Severity = Severity.WARNING
+    summary: str = ""
+    paper: str = ""  #: paper section grounding the rule, e.g. "§3"
+
+    def check(self, script: ast.Script, ctx: "LintContext") -> None:
+        raise NotImplementedError
+
+    def report(
+        self,
+        ctx: "LintContext",
+        node: object,
+        message: str,
+        *,
+        suggestion: Optional[str] = None,
+        severity: Optional[Severity] = None,
+    ) -> None:
+        """Emit one finding anchored at ``node`` (any object with a
+        ``line``/``column``, a :class:`~repro.core.tokens.Word`, or None
+        for a whole-file finding)."""
+        line = getattr(node, "line", 0) or 0
+        column = getattr(node, "column", 0) or 0
+        ctx.diagnostics.append(
+            Diagnostic(
+                code=self.code,
+                severity=severity if severity is not None else self.severity,
+                message=message,
+                source=ctx.source_name,
+                line=line,
+                column=column,
+                suggestion=suggestion,
+                rule=self.name,
+                paper=self.paper,
+            )
+        )
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may consult while checking one script."""
+
+    script: ast.Script
+    source_name: str
+    text: str
+    config: LintConfig
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+
+def _enabled(rules: Sequence[Rule], config: LintConfig) -> list[Rule]:
+    chosen = []
+    for rule in sorted(rules, key=lambda r: r.code):
+        if config.select is not None and rule.code not in config.select:
+            continue
+        if rule.code in config.disable:
+            continue
+        chosen.append(rule)
+    return chosen
+
+
+def lint_script(
+    script: ast.Script,
+    text: str,
+    *,
+    source_name: Optional[str] = None,
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> list[Diagnostic]:
+    """Lint an already-parsed script (``text`` is its exact source)."""
+    from .rules import default_rules  # deferred: rules.py imports this module
+
+    config = config or LintConfig()
+    ctx = LintContext(
+        script=script,
+        source_name=source_name or script.source_name,
+        text=text,
+        config=config,
+    )
+    for rule in _enabled(rules if rules is not None else default_rules(), config):
+        rule.check(script, ctx)
+    diagnostics = SuppressionMap.from_source(text).apply(ctx.diagnostics)
+    if config.warn_as_error:
+        diagnostics = promote_warnings(diagnostics)
+    return sort_diagnostics(diagnostics)
+
+
+def lint_text(
+    text: str,
+    source_name: str = "<script>",
+    *,
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> list[Diagnostic]:
+    """Parse and lint ftsh source text.
+
+    Raises :class:`~repro.core.errors.FtshSyntaxError` when the text does
+    not parse — static analysis needs a tree; front ends map that to
+    their "syntax error" exit path (exit status 2, like
+    ``ftsh --parse-only``).
+    """
+    script = parse(text, source_name)
+    return lint_script(script, text, source_name=source_name,
+                       config=config, rules=rules)
+
+
+def lint_file(
+    path: str,
+    *,
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> list[Diagnostic]:
+    """Lint one script file (OSError propagates to the caller)."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    return lint_text(text, path, config=config, rules=rules)
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    """True when any finding is error severity (after promotion)."""
+    return any(d.severity is Severity.ERROR for d in diagnostics)

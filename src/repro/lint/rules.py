@@ -1,0 +1,637 @@
+"""The initial rule pack: ten checks grounded in the paper's discipline.
+
+Every rule encodes one way a script can defeat the Ethernet approach —
+an unbounded ``try`` livelocks on persistent failure (§3), a zero-backoff
+retry loop is the "Fixed" client that melts the shared resource (§5,
+Figures 2–6), a missing carrier-sense probe gives up the collision
+avoidance that separates Ethernet from Aloha (§5).  The scope-aware
+checks (FTL005–FTL007) run a small abstract interpretation over the
+script: a chain-of-maps environment mirroring
+:class:`repro.core.variables.Scope`, with constant folding for literal
+assignments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import ast_nodes as ast
+from ..core.tokens import Literal, VarRef, Word
+from ..core.units import DAY, format_duration
+from ..core.visitor import walk
+from .engine import LintContext, Rule
+from .diagnostics import Severity
+
+# ---------------------------------------------------------------------------
+# shared helpers
+# ---------------------------------------------------------------------------
+
+#: Value marker: bound, but to something we cannot fold to a constant.
+_UNKNOWN = object()
+
+#: Commands that acquire a shared grid resource in the paper's scenarios.
+_ACQUIRE_COMMANDS = frozenset({"condor_submit", "store_output", "store_reserved"})
+
+#: Commands that *sense* load before acquiring (the Ethernet probes),
+#: including the reservation RPC the §5 discussion weighs as an
+#: alternative to carrier sense.
+_PROBE_COMMANDS = frozenset({"cut", "df_estimate", "reserve_output"})
+
+
+def command_name(node: ast.Command) -> Optional[str]:
+    """The command's first word, when it is a plain literal."""
+    return node.words[0].literal_text() if node.words else None
+
+
+def _word_text(word: Word) -> str:
+    """Source-ish rendering of a word (``${x}`` for references)."""
+    return str(word)
+
+
+def _is_probe_command(node: ast.Command) -> bool:
+    name = command_name(node)
+    if name in _PROBE_COMMANDS:
+        return True
+    if any(r.to_variable and not r.is_input for r in node.redirects):
+        return True  # captures output for a later test: a sensing idiom
+    if name == "wget" and any(
+        _word_text(w).endswith("/flag") for w in node.words[1:]
+    ):
+        return True
+    return False
+
+
+def _is_acquire_command(node: ast.Command) -> bool:
+    name = command_name(node)
+    if name in _ACQUIRE_COMMANDS:
+        return True
+    return name == "wget" and any(
+        _word_text(w).endswith("/data") for w in node.words[1:]
+    )
+
+
+def _contains_probe(node: object) -> bool:
+    """Does this statement (recursively) contain a carrier-sense probe?"""
+    for inner, _parents in walk(node):  # type: ignore[arg-type]
+        if isinstance(inner, ast.Command) and _is_probe_command(inner):
+            return True
+    return False
+
+
+class _Env:
+    """Chain-of-maps abstract scope: name -> constant str or _UNKNOWN."""
+
+    __slots__ = ("bindings", "parent")
+
+    def __init__(self, parent: Optional["_Env"] = None) -> None:
+        self.bindings: dict[str, object] = {}
+        self.parent = parent
+
+    def bind(self, name: str, value: object = _UNKNOWN) -> None:
+        self.bindings[name] = value
+
+    def lookup(self, name: str) -> Optional[object]:
+        env: Optional[_Env] = self
+        while env is not None:
+            if name in env.bindings:
+                return env.bindings[name]
+            env = env.parent
+        return None
+
+    def is_defined(self, name: str) -> bool:
+        # Positionals ($1, $#) come from function calls or the harness.
+        return name.isdigit() or name == "#" or self.lookup(name) is not None
+
+    def fold(self, word: Word) -> object:
+        """Constant-fold a word; _UNKNOWN when any part is not static."""
+        chunks: list[str] = []
+        for part in word.parts:
+            if isinstance(part, VarRef):
+                value = self.lookup(part.name)
+                if not isinstance(value, str):
+                    return _UNKNOWN
+                chunks.append(value)
+            else:
+                chunks.append(part.text)
+        return "".join(chunks)
+
+
+class _DataflowWalker:
+    """Statement-order walk tracking bindings; rules override the hooks.
+
+    Deliberately lenient: a binding on *any* path counts as a binding
+    (``if``/``catch`` joins union their branches), function bodies only
+    report names bound nowhere in the whole script, and names listed in
+    ``assume_defined`` (CLI ``-D``, REPL session state) never fire.
+    Lint findings should survive triage — a missed warning is cheaper
+    than a false one.
+    """
+
+    def __init__(self, assume_defined: frozenset[str] = frozenset()) -> None:
+        self.env = _Env()
+        for name in assume_defined:
+            self.env.bind(name)
+        self.in_function = 0
+        self.script_bound: frozenset[str] = frozenset()
+
+    # -- hooks -----------------------------------------------------------
+    def on_use_undefined(self, name: str, word: Word, node: object) -> None:
+        pass
+
+    def on_shadow(self, var: str, node: object, construct: str) -> None:
+        pass
+
+    def on_empty_loop(self, node: object) -> None:
+        pass
+
+    # -- driving ---------------------------------------------------------
+    def run(self, script: ast.Script) -> None:
+        self.script_bound = _all_bound_names(script)
+        self._walk_group(script.body)
+
+    def _use(self, word: Word, node: object) -> None:
+        for part in word.parts:
+            if not isinstance(part, VarRef):
+                continue
+            if self.env.is_defined(part.name):
+                continue
+            if self.in_function and part.name in self.script_bound:
+                continue  # bound somewhere; calls may come after that
+            self.on_use_undefined(part.name, word, node)
+
+    def _walk_group(self, group: ast.Group) -> None:
+        for stmt in group.body:
+            self._walk_statement(stmt)
+
+    def _walk_statement(self, node: ast.Statement) -> None:
+        if isinstance(node, ast.Command):
+            for word in node.words:
+                self._use(word, node)
+            for redirect in node.redirects:
+                if redirect.to_variable:
+                    name = redirect.target.literal_text() or ""
+                    if redirect.is_input:
+                        if not self.env.is_defined(name) and not (
+                            self.in_function and name in self.script_bound
+                        ):
+                            self.on_use_undefined(name, redirect.target, node)
+                    else:
+                        self.env.bind(name)
+                else:
+                    self._use(redirect.target, node)
+        elif isinstance(node, ast.Assignment):
+            self._use(node.value, node)
+            self.env.bind(node.name, self.env.fold(node.value))
+        elif isinstance(node, ast.Try):
+            self._walk_group(node.body)
+            if node.catch is not None:
+                self._walk_group(node.catch)
+        elif isinstance(node, ast.ForAny):
+            self._walk_loop(node, child_scope=False)
+        elif isinstance(node, ast.ForAll):
+            self._walk_loop(node, child_scope=True)
+        elif isinstance(node, ast.If):
+            self._walk_if(node)
+        elif isinstance(node, ast.FunctionDef):
+            outer, self.env = self.env, _Env(parent=self.env)
+            self.in_function += 1
+            try:
+                self._walk_group(node.body)
+            finally:
+                self.in_function -= 1
+                self.env = outer
+        # FailureAtom / SuccessAtom: no dataflow.
+
+    def _walk_loop(self, node: ast.ForAny | ast.ForAll, *,
+                   child_scope: bool) -> None:
+        for word in node.values:
+            self._use(word, node)
+        if self.env.lookup(node.var) is not None:
+            construct = "forall" if child_scope else "forany"
+            self.on_shadow(node.var, node, construct)
+        folded = [self.env.fold(word) for word in node.values]
+        if all(value == "" for value in folded):
+            self.on_empty_loop(node)
+        if child_scope:
+            # forall: branch scopes — writes do not escape (variables.py).
+            outer, self.env = self.env, _Env(parent=self.env)
+            self.env.bind(node.var)
+            try:
+                self._walk_group(node.body)
+            finally:
+                self.env = outer
+        else:
+            # forany: the loop variable (and body writes) persist; the
+            # winner's value sticks, so the constant is unknowable.
+            self.env.bind(node.var)
+            self._walk_group(node.body)
+
+    def _walk_if(self, node: ast.If) -> None:
+        for word in _condition_words(node.condition):
+            self._use(word, node)
+        # `.defined. x` guards make x safe to use in the branches below;
+        # joins are lenient (either branch's bindings count afterwards).
+        for name in _defined_guards(node.condition):
+            self.env.bind(name)
+        self._walk_group(node.then)
+        if node.orelse is not None:
+            self._walk_group(node.orelse)
+
+
+def _condition_words(expr: ast.Expr) -> list[Word]:
+    """Every word an expression expands (Defined tests expand nothing)."""
+    if isinstance(expr, ast.Comparison):
+        return [expr.lhs, expr.rhs]
+    if isinstance(expr, ast.Truth):
+        return [expr.operand]
+    if isinstance(expr, ast.Not):
+        return _condition_words(expr.operand)
+    if isinstance(expr, ast.BoolOp):
+        return _condition_words(expr.lhs) + _condition_words(expr.rhs)
+    return []  # Defined
+
+
+def _defined_guards(expr: ast.Expr) -> list[str]:
+    """Names positively guarded by ``.defined.`` in this condition."""
+    if isinstance(expr, ast.Defined):
+        return [expr.name]
+    if isinstance(expr, ast.BoolOp) and expr.op == ".and.":
+        return _defined_guards(expr.lhs) + _defined_guards(expr.rhs)
+    return []
+
+
+def _all_bound_names(script: ast.Script) -> frozenset[str]:
+    """Every name the script binds anywhere, ignoring order and scope."""
+    bound: set[str] = set()
+    for node, _parents in walk(script):
+        if isinstance(node, ast.Assignment):
+            bound.add(node.name)
+        elif isinstance(node, (ast.ForAny, ast.ForAll)):
+            bound.add(node.var)
+        elif isinstance(node, ast.Command):
+            for redirect in node.redirects:
+                if redirect.to_variable and not redirect.is_input:
+                    name = redirect.target.literal_text()
+                    if name:
+                        bound.add(name)
+    return frozenset(bound)
+
+
+# ---------------------------------------------------------------------------
+# the rules
+# ---------------------------------------------------------------------------
+
+class UnboundedTry(Rule):
+    code = "FTL001"
+    name = "unbounded-try"
+    severity = Severity.WARNING
+    summary = "a 'try' with no time and no attempt bound livelocks on persistent failure"
+    paper = "§3"
+
+    def check(self, script: ast.Script, ctx: LintContext) -> None:
+        for node, _parents in walk(script):
+            if not isinstance(node, ast.Try):
+                continue
+            limits = node.limits
+            if limits.duration is None and limits.attempts is None:
+                detail = (
+                    f" (a fixed 'every {format_duration(limits.every)}' "
+                    "interval is not a bound)"
+                    if limits.every is not None else ""
+                )
+                self.report(
+                    ctx, node,
+                    f"'try' has no time or attempt bound{detail}; it can "
+                    "retry forever against a persistent failure",
+                    suggestion="bound it: 'try for <time>' or 'try <n> times'",
+                )
+
+
+class ZeroBackoff(Rule):
+    code = "FTL002"
+    name = "zero-backoff"
+    severity = Severity.WARNING
+    summary = "a retry loop with zero backoff is the 'Fixed' client that melts the shared resource"
+    paper = "§5, Figures 2–6"
+
+    def check(self, script: ast.Script, ctx: LintContext) -> None:
+        for node, _parents in walk(script):
+            if isinstance(node, ast.Try) and node.limits.every == 0:
+                self.report(
+                    ctx, node,
+                    "'try … every 0' retries with no delay — the paper's "
+                    "'Fixed' client, which collapses the shared resource "
+                    "under load",
+                    suggestion="drop 'every 0 <unit>' to restore exponential "
+                    "backoff, or choose a positive interval",
+                )
+
+
+class UnreachableCode(Rule):
+    code = "FTL003"
+    name = "unreachable-code"
+    severity = Severity.WARNING
+    summary = "statements after an unconditional 'failure' (or 'exit') never run"
+    paper = "§4"
+
+    def check(self, script: ast.Script, ctx: LintContext) -> None:
+        for node, _parents in walk(script):
+            if not isinstance(node, ast.Group):
+                continue
+            for stmt, following in zip(node.body, node.body[1:]):
+                if isinstance(stmt, ast.FailureAtom):
+                    terminator = "'failure'"
+                elif (isinstance(stmt, ast.Command)
+                      and command_name(stmt) == "exit"):
+                    terminator = "'exit'"
+                else:
+                    continue
+                self.report(
+                    ctx, following,
+                    f"unreachable: {terminator} on line {stmt.line} always "
+                    "aborts this sequence first",
+                    suggestion="delete the dead statements or move them "
+                    f"before the {terminator}",
+                )
+                break  # one finding per group is enough
+
+
+def _infallible(group: ast.Group) -> bool:
+    """Can this body *provably* never fail?  (Conservative: literal
+    assignments and ``success`` atoms are the only infallible statements —
+    expanding a variable can fail, so any VarRef disqualifies.)"""
+    for stmt in group.body:
+        if isinstance(stmt, ast.SuccessAtom):
+            continue
+        if (isinstance(stmt, ast.Assignment)
+                and stmt.value.literal_text() is not None):
+            continue
+        return False
+    return True
+
+
+class DeadCatch(Rule):
+    code = "FTL004"
+    name = "dead-catch"
+    severity = Severity.WARNING
+    summary = "a 'catch' only fires when the try exhausts its budget; some never can"
+    paper = "§4"
+
+    def check(self, script: ast.Script, ctx: LintContext) -> None:
+        for node, _parents in walk(script):
+            if not isinstance(node, ast.Try) or node.catch is None:
+                continue
+            limits = node.limits
+            if limits.duration is None and limits.attempts is None:
+                self.report(
+                    ctx, node,
+                    "'catch' can never fire: an unbounded 'try' never "
+                    "exhausts its budget, so failures retry instead of "
+                    "reaching the handler",
+                    suggestion="bound the try, or drop the catch",
+                )
+            elif _infallible(node.body):
+                self.report(
+                    ctx, node,
+                    "'catch' can never fire: the try body cannot fail "
+                    "(only literal assignments and 'success')",
+                    suggestion="drop the catch, or the whole try",
+                )
+
+
+class UndefinedVariable(Rule):
+    code = "FTL005"
+    name = "undefined-variable"
+    severity = Severity.WARNING
+    summary = "expanding an unbound variable fails the enclosing procedure"
+    paper = "§4"
+
+    def check(self, script: ast.Script, ctx: LintContext) -> None:
+        rule = self
+        seen: set[tuple[str, int, int]] = set()
+
+        class Walker(_DataflowWalker):
+            def on_use_undefined(self, name: str, word: Word, node: object) -> None:
+                key = (name, getattr(word, "line", 0), getattr(word, "column", 0))
+                if key in seen:
+                    return
+                seen.add(key)
+                rule.report(
+                    ctx, word,
+                    f"variable '{name}' is never assigned before this use; "
+                    "expanding it will fail the enclosing procedure",
+                    suggestion=f"assign {name}=… first, capture into it with "
+                    f"'-> {name}', or guard with '.defined. {name}'",
+                )
+
+        Walker(assume_defined=ctx.config.assume_defined).run(script)
+
+
+class ShadowedVariable(Rule):
+    code = "FTL006"
+    name = "shadowed-variable"
+    severity = Severity.WARNING
+    summary = "a loop variable reusing a live name hides (or clobbers) the outer binding"
+    paper = "§4"
+
+    def check(self, script: ast.Script, ctx: LintContext) -> None:
+        rule = self
+
+        class Walker(_DataflowWalker):
+            def on_shadow(self, var: str, node: object, construct: str) -> None:
+                if construct == "forall":
+                    detail = ("each branch shadows the outer value for its "
+                              "own scope")
+                else:
+                    detail = ("the loop overwrites it, and the winning "
+                              "alternative's value sticks afterwards")
+                rule.report(
+                    ctx, node,
+                    f"{construct} variable '{var}' reuses an already-bound "
+                    f"name; {detail}",
+                    suggestion=f"rename the loop variable '{var}'",
+                )
+
+        Walker(assume_defined=ctx.config.assume_defined).run(script)
+
+
+class EmptyLoopList(Rule):
+    code = "FTL007"
+    name = "empty-loop-list"
+    severity = Severity.WARNING
+    summary = "alternation over provably empty alternatives decides nothing"
+    paper = "§4"
+
+    def check(self, script: ast.Script, ctx: LintContext) -> None:
+        rule = self
+
+        class Walker(_DataflowWalker):
+            def on_empty_loop(self, node: object) -> None:
+                construct = ("forany" if isinstance(node, ast.ForAny)
+                             else "forall")
+                rule.report(
+                    ctx, node,
+                    f"every alternative of this {construct} is provably the "
+                    "empty string; the loop has nothing real to choose from",
+                    suggestion="fill in the alternative list (or the "
+                    "variable it expands from)",
+                )
+
+        Walker(assume_defined=ctx.config.assume_defined).run(script)
+
+
+class NestedBudgetExceeded(Rule):
+    code = "FTL008"
+    name = "nested-budget"
+    severity = Severity.WARNING
+    summary = "an inner try window longer than the enclosing budget is wishful thinking"
+    paper = "§4"
+
+    def check(self, script: ast.Script, ctx: LintContext) -> None:
+        for node, parents in walk(script):
+            if not isinstance(node, ast.Try) or node.limits.duration is None:
+                continue
+            enclosing = [
+                p.limits.duration for p in parents
+                if isinstance(p, ast.Try) and p.limits.duration is not None
+            ]
+            if not enclosing:
+                continue
+            budget = min(enclosing)
+            if node.limits.duration > budget:
+                self.report(
+                    ctx, node,
+                    f"inner window of {format_duration(node.limits.duration)} "
+                    f"exceeds the enclosing try's "
+                    f"{format_duration(budget)} budget; the outer deadline "
+                    "always cuts it short",
+                    suggestion="shrink the inner window below "
+                    f"{format_duration(budget)} or grow the outer one",
+                )
+
+
+class SuspiciousTimeLiteral(Rule):
+    code = "FTL009"
+    name = "suspicious-time"
+    severity = Severity.WARNING
+    summary = "time literals that cannot mean what they say"
+    paper = "§2"
+
+    def check(self, script: ast.Script, ctx: LintContext) -> None:
+        for node, _parents in walk(script):
+            if not isinstance(node, ast.Try):
+                continue
+            limits = node.limits
+            if limits.duration == 0:
+                self.report(
+                    ctx, node,
+                    "zero-length time window: 'try for 0' expires before "
+                    "the first attempt can fail and retry",
+                    suggestion="write the window you mean, e.g. "
+                    "'try for 5 seconds'",
+                )
+            if (limits.every is not None and limits.duration is not None
+                    and limits.every > 0
+                    and limits.every >= limits.duration):
+                self.report(
+                    ctx, node,
+                    f"retry interval ({format_duration(limits.every)}) is "
+                    f"not smaller than the window "
+                    f"({format_duration(limits.duration)}); at most one "
+                    "attempt ever runs",
+                    suggestion="shrink 'every' well below the 'for' window",
+                )
+            if (limits.duration is not None and limits.duration >= DAY
+                    and limits.duration_unit
+                    and limits.duration_unit.lower().startswith("s")):
+                self.report(
+                    ctx, node,
+                    f"window of {limits.duration:g} seconds "
+                    f"(= {format_duration(limits.duration)}) written in "
+                    "seconds; a larger unit would say what is meant",
+                    suggestion=f"write 'try for {format_duration(limits.duration)}'"
+                    " using hours/days",
+                )
+
+
+class MissingCarrierSense(Rule):
+    code = "FTL010"
+    name = "missing-carrier-sense"
+    severity = Severity.WARNING
+    summary = "acquiring a shared resource in a retry loop without sensing load first"
+    paper = "§5"
+
+    def check(self, script: ast.Script, ctx: LintContext) -> None:
+        for node, parents in walk(script):
+            if isinstance(node, ast.Try):
+                self._check_try(node, parents, ctx)
+
+    def _check_try(self, try_node: ast.Try,
+                   parents: tuple, ctx: LintContext) -> None:
+        probed = False
+        parent = parents[-1] if parents else None
+        if isinstance(parent, ast.Group):
+            for sibling in parent.body:
+                if sibling is try_node:
+                    break
+                if _contains_probe(sibling):
+                    probed = True
+        self._scan(try_node.body, probed, ctx)
+
+    def _scan(self, group: ast.Group, probed: bool, ctx: LintContext) -> bool:
+        """Scan one group in order; returns whether a probe has happened
+        by the end.  Nested ``try`` blocks are scanned on their own visit
+        (with their preceding siblings as context), so here they only
+        contribute their probes."""
+        for stmt in group.body:
+            if isinstance(stmt, ast.Command):
+                if _is_probe_command(stmt):
+                    probed = True
+                elif _is_acquire_command(stmt) and not probed:
+                    self.report(
+                        ctx, stmt,
+                        f"'{command_name(stmt)}' grabs a shared resource "
+                        "inside a retry loop with no carrier-sense probe "
+                        "before it — Aloha behaviour under load",
+                        suggestion="probe first (capture a load measure and "
+                        "'failure' when busy), as in the paper's Ethernet "
+                        "scripts",
+                    )
+            elif isinstance(stmt, ast.If):
+                probed_then = self._scan(stmt.then, probed, ctx)
+                probed_else = (self._scan(stmt.orelse, probed, ctx)
+                               if stmt.orelse is not None else probed)
+                probed = probed_then or probed_else
+            elif isinstance(stmt, (ast.ForAny, ast.ForAll, ast.FunctionDef)):
+                probed = self._scan(stmt.body, probed, ctx)
+            elif isinstance(stmt, ast.Try):
+                if _contains_probe(stmt):
+                    probed = True
+        return probed
+
+
+def default_rules() -> list[Rule]:
+    """One instance of every rule in the pack, in code order."""
+    return [
+        UnboundedTry(),
+        ZeroBackoff(),
+        UnreachableCode(),
+        DeadCatch(),
+        UndefinedVariable(),
+        ShadowedVariable(),
+        EmptyLoopList(),
+        NestedBudgetExceeded(),
+        SuspiciousTimeLiteral(),
+        MissingCarrierSense(),
+    ]
+
+
+#: Code -> rule class, for documentation and ``--select`` validation.
+RULES: dict[str, type[Rule]] = {
+    cls.code: cls
+    for cls in (
+        UnboundedTry, ZeroBackoff, UnreachableCode, DeadCatch,
+        UndefinedVariable, ShadowedVariable, EmptyLoopList,
+        NestedBudgetExceeded, SuspiciousTimeLiteral, MissingCarrierSense,
+    )
+}

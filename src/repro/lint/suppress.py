@@ -1,0 +1,88 @@
+"""Per-line and per-file suppression comments.
+
+Suppression rides on ordinary ftsh comments so suppressed scripts stay
+valid for every other tool:
+
+* ``# lint: disable=FTL001`` on a line silences those codes *on that
+  line* (several codes separated by commas; ``all`` silences everything
+  on the line);
+* ``# lint: disable-file=FTL010`` anywhere in the file silences the
+  codes for the whole file.
+
+The scanner works on raw source text, not tokens — the lexer drops
+comments — but it respects quoting: a ``#`` inside a quoted span is
+content, not a comment (``echo "# lint: disable=FTL001"`` suppresses
+nothing).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .diagnostics import Diagnostic
+
+_DIRECTIVE = re.compile(
+    r"#\s*lint:\s*(?P<kind>disable|disable-file)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+def _comment_of(line: str) -> str | None:
+    """The comment part of ``line``, honouring quotes and escapes."""
+    quote: str | None = None
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if ch == "\\" and quote != "'":
+            i += 2
+            continue
+        if quote is not None:
+            if ch == quote:
+                quote = None
+        elif ch in ("'", '"'):
+            quote = ch
+        elif ch == "#" and (i == 0 or line[i - 1] in " \t"):
+            return line[i:]
+        i += 1
+    return None
+
+
+@dataclass
+class SuppressionMap:
+    """Which codes are silenced where, for one source file."""
+
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+    file_wide: frozenset[str] = frozenset()
+
+    @classmethod
+    def from_source(cls, text: str) -> "SuppressionMap":
+        by_line: dict[int, frozenset[str]] = {}
+        file_wide: set[str] = set()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            comment = _comment_of(line)
+            if comment is None:
+                continue
+            for match in _DIRECTIVE.finditer(comment):
+                codes = frozenset(
+                    code.strip().upper()
+                    for code in match.group("codes").split(",")
+                )
+                if match.group("kind") == "disable-file":
+                    file_wide |= codes
+                else:
+                    by_line[lineno] = by_line.get(lineno, frozenset()) | codes
+        return cls(by_line=by_line, file_wide=frozenset(file_wide))
+
+    def suppresses(self, diagnostic: Diagnostic) -> bool:
+        code = diagnostic.code.upper()
+        if code in self.file_wide or "ALL" in self.file_wide:
+            return True
+        codes = self.by_line.get(diagnostic.line)
+        return codes is not None and (code in codes or "ALL" in codes)
+
+    def apply(self, diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+        """Drop every suppressed diagnostic."""
+        if not self.by_line and not self.file_wide:
+            return diagnostics
+        return [d for d in diagnostics if not self.suppresses(d)]

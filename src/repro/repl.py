@@ -50,12 +50,14 @@ class Repl:
         stdin: Optional[IO[str]] = None,
         stdout: Optional[IO[str]] = None,
         prompt: bool = True,
+        lint: bool = True,
     ) -> None:
         self.driver = driver or RealDriver()
         self.policy = policy
         self.stdin = stdin or sys.stdin
         self.stdout = stdout or sys.stdout
         self.prompt = prompt
+        self.lint = lint
         self.scope = Scope()
         self.functions: dict = {}
         self.log = ShellLog(clock=self.driver.now)
@@ -95,6 +97,8 @@ class Repl:
         except FtshSyntaxError as exc:
             self._emit(f"syntax error: {exc}")
             return False
+        if self.lint:
+            self._lint_entry(script, text)
         interpreter = Interpreter(
             scope=self.scope,
             policy=self.policy,
@@ -107,6 +111,22 @@ class Repl:
             return True
         self._emit(f"failed: {outcome}")
         return False
+
+    def _lint_entry(self, script, text: str) -> None:
+        """Lint-on-load: warn about discipline smells, never block.
+
+        Names already bound in the session (variables and functions) are
+        assumed defined so cross-entry references do not cry wolf.
+        """
+        from .lint.engine import LintConfig, lint_script
+
+        known = set(self.scope.flatten()) | set(self.functions)
+        diagnostics = lint_script(
+            script, text, source_name="<repl>",
+            config=LintConfig(assume_defined=frozenset(known)),
+        )
+        for diag in diagnostics:
+            self._emit(f"lint: {diag.gcc()}")
 
     def handle_directive(self, line: str) -> bool:
         """``:``-commands; returns False when the session should end."""

@@ -358,3 +358,36 @@ end
     def test_parses(self, listing):
         script = parse(listing)
         assert script.body.body
+
+
+class TestSourceSpans:
+    """Nodes carry the line *and* column of their head token."""
+
+    def test_statement_columns(self):
+        script = parse("x=1\n    echo hi\n", "<test>")
+        assign, command = script.body.body
+        assert (assign.line, assign.column) == (1, 1)
+        assert (command.line, command.column) == (2, 5)
+
+    def test_block_columns(self):
+        script = parse(
+            "try forever\n    forany h in a b\n        cmd\n    end\nend\n"
+        )
+        try_node = script.body.body[0]
+        forany = try_node.body.body[0]
+        assert (try_node.line, try_node.column) == (1, 1)
+        assert (forany.line, forany.column) == (2, 5)
+
+    def test_duration_units_as_written(self):
+        script = parse("try for 5 minutes every 30 seconds\n    cmd\nend\n")
+        limits = script.body.body[0].limits
+        assert limits.duration == 300.0
+        assert limits.duration_unit == "minutes"
+        assert limits.every == 30.0
+        assert limits.every_unit == "seconds"
+
+    def test_units_absent_when_not_written(self):
+        script = parse("try 3 times\n    cmd\nend\n")
+        limits = script.body.body[0].limits
+        assert limits.duration_unit is None
+        assert limits.every_unit is None

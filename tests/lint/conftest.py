@@ -1,0 +1,21 @@
+"""Shared helpers for the lint suite."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, lint_text
+
+FIXTURES = Path(__file__).parent / "fixtures"
+EXAMPLES = Path(__file__).parent.parent.parent / "examples"
+
+
+def codes(text, **config):
+    """Lint ``text`` and return the finding codes, in order."""
+    cfg = LintConfig(**config) if config else None
+    return [d.code for d in lint_text(text, config=cfg)]
+
+
+@pytest.fixture
+def lint_codes():
+    return codes

@@ -1,0 +1,95 @@
+"""Engine behaviour: suppression, promotion, selection, ordering."""
+
+import pytest
+
+from repro.core.errors import FtshSyntaxError
+from repro.lint import (
+    LintConfig,
+    Severity,
+    SuppressionMap,
+    lint_text,
+    worst_severity,
+)
+
+SMELLY = "try forever\n    cmd\nend\ntry for 0 seconds\n    cmd\nend\n"
+
+
+class TestSuppression:
+    def test_same_line_disable(self):
+        text = "try forever  # lint: disable=FTL001\n    cmd\nend\n"
+        assert lint_text(text) == []
+
+    def test_disable_is_code_specific(self):
+        text = "try forever  # lint: disable=FTL002\n    cmd\nend\n"
+        assert [d.code for d in lint_text(text)] == ["FTL001"]
+
+    def test_multiple_codes_one_comment(self):
+        text = (
+            "try forever  # lint: disable=FTL001,FTL004\n"
+            "    cmd\ncatch\n    echo x\nend\n"
+        )
+        assert lint_text(text) == []
+
+    def test_disable_all_on_line(self):
+        text = "try forever  # lint: disable=all\n    cmd\nend\n"
+        assert lint_text(text) == []
+
+    def test_file_wide_disable(self):
+        text = "# lint: disable-file=FTL001\n" + SMELLY
+        assert [d.code for d in lint_text(text)] == ["FTL009"]
+
+    def test_directive_inside_quotes_is_content(self):
+        text = 'echo "# lint: disable=FTL005" ${nope}\n'
+        assert [d.code for d in lint_text(text)] == ["FTL005"]
+
+    def test_map_parsing(self):
+        smap = SuppressionMap.from_source(
+            "cmd  # lint: disable=ftl001, FTL002\n# lint: disable-file=FTL010\n"
+        )
+        assert smap.by_line == {1: frozenset({"FTL001", "FTL002"})}
+        assert smap.file_wide == frozenset({"FTL010"})
+
+
+class TestPromotion:
+    def test_warnings_stay_warnings_by_default(self):
+        assert worst_severity(lint_text(SMELLY)) is Severity.WARNING
+
+    def test_warn_as_error(self):
+        diags = lint_text(SMELLY, config=LintConfig(warn_as_error=True))
+        assert {d.severity for d in diags} == {Severity.ERROR}
+
+
+class TestSelection:
+    def test_select_restricts(self):
+        diags = lint_text(
+            SMELLY, config=LintConfig(select=frozenset({"FTL009"}))
+        )
+        assert [d.code for d in diags] == ["FTL009"]
+
+    def test_disable_removes(self):
+        diags = lint_text(
+            SMELLY, config=LintConfig(disable=frozenset({"FTL001"}))
+        )
+        assert [d.code for d in diags] == ["FTL009"]
+
+
+class TestOrderingAndRendering:
+    def test_sorted_by_position_then_code(self):
+        text = (
+            "try forever\n"
+            "    echo ${nope}\n"
+            "end\n"
+        )
+        diags = lint_text(text)
+        assert [(d.line, d.code) for d in diags] == [
+            (1, "FTL001"), (2, "FTL005"),
+        ]
+
+    def test_gcc_rendering(self):
+        (diag,) = lint_text("try forever\n    cmd\nend\n", "s.ftsh")
+        assert diag.gcc().startswith("s.ftsh:1:1: warning: ")
+        assert diag.gcc().endswith("[FTL001]")
+
+    def test_syntax_error_raises(self):
+        with pytest.raises(FtshSyntaxError):
+            lint_text("try\n    cmd\nend\n")

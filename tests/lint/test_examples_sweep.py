@@ -1,0 +1,33 @@
+"""Everything we ship must lint clean — the same gate CI enforces."""
+
+import pathlib
+
+import pytest
+
+from repro.lint import LintConfig, lint_file
+
+from .conftest import FIXTURES
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES = sorted((ROOT / "examples").glob("**/*.ftsh"))
+GOOD = sorted((FIXTURES / "good").glob("*.ftsh"))
+
+STRICT = LintConfig(warn_as_error=True)
+
+
+def _ids(paths):
+    return [p.name for p in paths]
+
+
+class TestShippedScripts:
+    def test_examples_exist(self):
+        # The sweep must never silently pass because the glob went empty.
+        assert len(EXAMPLES) >= 3
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=_ids(EXAMPLES))
+    def test_example_lints_clean(self, path):
+        assert lint_file(path, config=STRICT) == []
+
+    @pytest.mark.parametrize("path", GOOD, ids=_ids(GOOD))
+    def test_good_fixture_lints_clean(self, path):
+        assert lint_file(path, config=STRICT) == []

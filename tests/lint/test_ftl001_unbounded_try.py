@@ -1,0 +1,42 @@
+"""FTL001: a 'try' with no time and no attempt bound livelocks (§3)."""
+
+from repro.lint import Severity, lint_text
+
+from .conftest import codes
+
+
+class TestFires:
+    def test_try_forever(self):
+        assert codes("try forever\n    cmd\nend\n") == ["FTL001"]
+
+    def test_every_alone_is_not_a_bound(self):
+        diags = lint_text("try every 10 seconds\n    cmd\nend\n")
+        assert [d.code for d in diags] == ["FTL001"]
+        assert "every 10s" in diags[0].message
+
+    def test_nested_unbounded(self):
+        text = "try for 60 seconds\n    try forever\n        cmd\n    end\nend\n"
+        diags = lint_text(text)
+        assert [d.code for d in diags] == ["FTL001"]
+        assert diags[0].line == 2
+
+    def test_severity_and_metadata(self):
+        (diag,) = lint_text("try forever\n    cmd\nend\n")
+        assert diag.severity is Severity.WARNING
+        assert diag.rule == "unbounded-try"
+        assert diag.paper == "§3"
+        assert diag.suggestion
+
+
+class TestStaysQuiet:
+    def test_time_bound(self):
+        assert codes("try for 5 minutes\n    cmd\nend\n") == []
+
+    def test_attempt_bound(self):
+        assert codes("try 3 times\n    cmd\nend\n") == []
+
+    def test_both_bounds(self):
+        assert codes("try for 1 hour or 3 times\n    cmd\nend\n") == []
+
+    def test_every_with_real_bound(self):
+        assert codes("try for 60 seconds every 5 seconds\n    cmd\nend\n") == []

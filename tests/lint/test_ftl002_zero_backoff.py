@@ -1,0 +1,25 @@
+"""FTL002: zero backoff is the 'Fixed' client of Figures 2-6 (§5)."""
+
+from .conftest import codes
+
+
+class TestFires:
+    def test_every_zero_seconds(self):
+        assert codes(
+            "try for 300 seconds every 0 seconds\n    cmd\nend\n"
+        ) == ["FTL002"]
+
+    def test_every_zero_minutes(self):
+        assert codes(
+            "try 5 times every 0 minutes\n    cmd\nend\n"
+        ) == ["FTL002"]
+
+
+class TestStaysQuiet:
+    def test_positive_interval(self):
+        assert codes(
+            "try for 300 seconds every 5 seconds\n    cmd\nend\n"
+        ) == []
+
+    def test_default_exponential_backoff(self):
+        assert codes("try for 300 seconds\n    cmd\nend\n") == []

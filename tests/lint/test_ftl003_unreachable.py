@@ -1,0 +1,42 @@
+"""FTL003: statements after an unconditional 'failure' never run (§4)."""
+
+from repro.lint import lint_text
+
+from .conftest import codes
+
+
+class TestFires:
+    def test_after_failure(self):
+        diags = lint_text("failure\necho never\n")
+        assert [d.code for d in diags] == ["FTL003"]
+        assert diags[0].line == 2  # anchored at the dead statement
+
+    def test_after_exit_command(self):
+        assert codes("exit\necho never\n") == ["FTL003"]
+
+    def test_inside_try_body(self):
+        text = "try 2 times\n    failure\n    echo never\nend\n"
+        assert codes(text) == ["FTL003"]
+
+    def test_one_finding_per_group(self):
+        text = "failure\necho one\necho two\necho three\n"
+        assert codes(text) == ["FTL003"]
+
+
+class TestStaysQuiet:
+    def test_failure_as_last_statement(self):
+        # The ethernet submit idiom: failure terminates the then-branch.
+        text = (
+            "try for 60 seconds\n"
+            "    cut -f2 /proc/sys/fs/file-nr -> n\n"
+            "    if ${n} .lt. 1000\n"
+            "        failure\n"
+            "    else\n"
+            "        condor_submit submit.job\n"
+            "    end\n"
+            "end\n"
+        )
+        assert codes(text) == []
+
+    def test_echo_exit_is_an_argument(self):
+        assert codes("echo exit\necho after\n") == []

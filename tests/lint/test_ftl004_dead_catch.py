@@ -1,0 +1,39 @@
+"""FTL004: a 'catch' that can never fire (§4).
+
+A catch runs only when its try exhausts the retry budget, so it is dead
+when the try is unbounded (never exhausts) or the body provably cannot
+fail.
+"""
+
+from .conftest import codes
+
+
+class TestFires:
+    def test_unbounded_try_with_catch(self):
+        text = "try forever\n    cmd\ncatch\n    echo cleanup\nend\n"
+        assert codes(text) == ["FTL001", "FTL004"]
+
+    def test_infallible_body_literal_assignments(self):
+        text = "try 3 times\n    x=1\n    success\ncatch\n    echo dead\nend\n"
+        assert codes(text) == ["FTL004"]
+
+    def test_infallible_empty_body(self):
+        text = "try 3 times\ncatch\n    echo dead\nend\n"
+        assert codes(text) == ["FTL004"]
+
+
+class TestStaysQuiet:
+    def test_fallible_body(self):
+        text = "try 3 times\n    cmd\ncatch\n    echo recover\nend\n"
+        assert codes(text) == []
+
+    def test_assignment_with_expansion_can_fail(self):
+        # Expanding ${maybe} is itself fallible, so the catch is live.
+        text = (
+            "maybe=1\n"
+            "try 3 times\n    x=${maybe}\ncatch\n    echo recover\nend\n"
+        )
+        assert codes(text) == []
+
+    def test_no_catch_no_finding(self):
+        assert codes("try 3 times\n    x=1\nend\n") == []

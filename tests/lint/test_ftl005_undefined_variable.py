@@ -1,0 +1,77 @@
+"""FTL005: use of a variable with no visible binding (§4).
+
+The walk is scope-aware and deliberately lenient: bindings on any path
+count, positionals are assumed to come from callers, and names in
+``assume_defined`` (CLI -D presets, REPL session state) never fire.
+"""
+
+from repro.lint import lint_text
+
+from .conftest import codes
+
+
+class TestFires:
+    def test_plain_use(self):
+        diags = lint_text("echo ${nope}\n")
+        assert [d.code for d in diags] == ["FTL005"]
+        assert "'nope'" in diags[0].message
+
+    def test_use_before_assignment(self):
+        assert codes("echo ${x}\nx=1\n") == ["FTL005"]
+
+    def test_in_condition(self):
+        assert codes("if ${n} .lt. 10\n    cmd\nend\n") == ["FTL005"]
+
+    def test_in_redirect_target(self):
+        assert codes("cmd > ${dir}/out\n") == ["FTL005"]
+
+    def test_input_variable_redirect(self):
+        assert codes("cmd -< stash\n") == ["FTL005"]
+
+    def test_forall_binding_does_not_escape(self):
+        # forall branch scopes are discarded (variables.py): a capture
+        # inside the loop is not visible after it.
+        text = (
+            "forall host in a b\n"
+            "    probe ${host} -> status\n"
+            "    echo ${status}\n"
+            "end\n"
+            "echo ${status}\n"
+        )
+        diags = lint_text(text)
+        assert [d.code for d in diags] == ["FTL005"]
+        assert diags[0].line == 5
+
+
+class TestStaysQuiet:
+    def test_assignment_then_use(self):
+        assert codes("x=1\necho ${x}\n") == []
+
+    def test_capture_redirect_then_use(self):
+        assert codes("cut -f2 /etc/f -> n\necho ${n}\n") == []
+
+    def test_append_redirect_binds(self):
+        assert codes("cmd ->> log\necho ${log}\n") == []
+
+    def test_loop_variables(self):
+        assert codes("forany h in a b\n    echo ${h}\nend\necho ${h}\n") == []
+
+    def test_defined_guard(self):
+        text = "if .defined. out\n    echo ${out}\nend\n"
+        assert codes(text) == []
+
+    def test_positionals_assumed_from_caller(self):
+        assert codes("echo ${1} ${#}\n") == []
+
+    def test_function_body_sees_later_bindings(self):
+        # f may be called after dest is assigned; lenient by design.
+        text = (
+            "function f\n    echo ${dest}\nend\n"
+            "dest=/tmp\n"
+            "f\n"
+        )
+        assert codes(text) == []
+
+    def test_assume_defined_config(self):
+        assert codes("echo ${host}\n",
+                     assume_defined=frozenset({"host"})) == []

@@ -1,0 +1,48 @@
+"""FTL006: a loop variable reusing a live name (§4)."""
+
+from repro.lint import lint_text
+
+from .conftest import codes
+
+
+class TestFires:
+    def test_forany_clobbers_assignment(self):
+        text = "host=stable\nforany host in a b\n    cmd ${host}\nend\n"
+        diags = lint_text(text)
+        assert [d.code for d in diags] == ["FTL006"]
+        assert diags[0].line == 2
+
+    def test_forall_shadows_outer(self):
+        text = "n=5\nforall n in 1 2 3\n    cmd ${n}\nend\n"
+        diags = lint_text(text)
+        assert [d.code for d in diags] == ["FTL006"]
+        assert "forall" in diags[0].message
+
+    def test_nested_loops_same_variable(self):
+        text = (
+            "forany host in a b\n"
+            "    forany host in c d\n"
+            "        cmd ${host}\n"
+            "    end\n"
+            "end\n"
+        )
+        assert codes(text) == ["FTL006"]
+
+    def test_capture_then_loop(self):
+        text = "probe -> n\nforany n in 1 2\n    cmd ${n}\nend\n"
+        assert codes(text) == ["FTL006"]
+
+
+class TestStaysQuiet:
+    def test_fresh_loop_variable(self):
+        assert codes("forany host in a b\n    cmd ${host}\nend\n") == []
+
+    def test_sequential_loops_reuse_is_fine(self):
+        # After the first forany the name holds the winner; a second
+        # loop over the *same* variable is the shadow case by design,
+        # but two loops over different names are clean.
+        text = (
+            "forany host in a b\n    cmd ${host}\nend\n"
+            "forany port in 1 2\n    cmd ${port}\nend\n"
+        )
+        assert codes(text) == []

@@ -1,0 +1,37 @@
+"""FTL007: forany/forall over provably empty alternatives (§4)."""
+
+from .conftest import codes
+
+
+class TestFires:
+    def test_quoted_empty_literal(self):
+        assert codes('forany x in ""\n    cmd ${x}\nend\n') == ["FTL007"]
+
+    def test_variable_known_empty(self):
+        text = 'hosts=""\nforany h in ${hosts}\n    cmd ${h}\nend\n'
+        assert codes(text) == ["FTL007"]
+
+    def test_forall_variant(self):
+        text = 'list=""\nforall item in ${list}\n    cmd ${item}\nend\n'
+        assert codes(text) == ["FTL007"]
+
+    def test_concatenation_of_empties(self):
+        text = 'a=""\nforany x in "${a}${a}" ""\n    cmd ${x}\nend\n'
+        assert codes(text) == ["FTL007"]
+
+
+class TestStaysQuiet:
+    def test_literal_alternatives(self):
+        assert codes("forany h in xxx yyy\n    cmd ${h}\nend\n") == []
+
+    def test_variable_with_content(self):
+        text = "hosts=xxx\nforany h in ${hosts}\n    cmd ${h}\nend\n"
+        assert codes(text) == []
+
+    def test_unknown_value_gets_benefit_of_doubt(self):
+        # Captured at runtime: could be anything, so no finding.
+        text = "discover -> hosts\nforany h in ${hosts}\n    cmd ${h}\nend\n"
+        assert codes(text) == []
+
+    def test_one_empty_among_real_alternatives(self):
+        assert codes('forany x in "" real\n    cmd ${x}\nend\n') == []

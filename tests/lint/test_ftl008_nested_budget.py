@@ -1,0 +1,72 @@
+"""FTL008: an inner try window exceeding the enclosing budget (§4).
+
+The outer deadline always wins at runtime (FtshTimeout unwinds past
+inner tries), so an oversized inner window is a lie about how long the
+inner work may take.
+"""
+
+from repro.lint import lint_text
+
+from .conftest import codes
+
+
+class TestFires:
+    def test_direct_nesting(self):
+        text = (
+            "try for 60 seconds\n"
+            "    try for 300 seconds\n        cmd\n    end\n"
+            "end\n"
+        )
+        diags = lint_text(text)
+        assert [d.code for d in diags] == ["FTL008"]
+        assert diags[0].line == 2
+        assert "5m" in diags[0].message and "1m" in diags[0].message
+
+    def test_budget_is_innermost_minimum(self):
+        text = (
+            "try for 1 hour\n"
+            "    try for 30 seconds\n"
+            "        try for 60 seconds\n            cmd\n        end\n"
+            "    end\n"
+            "end\n"
+        )
+        assert codes(text) == ["FTL008"]
+
+    def test_through_forany(self):
+        text = (
+            "try for 60 seconds\n"
+            "    forany h in a b\n"
+            "        try for 120 seconds\n            cmd ${h}\n        end\n"
+            "    end\n"
+            "end\n"
+        )
+        assert codes(text) == ["FTL008"]
+
+
+class TestStaysQuiet:
+    def test_paper_reader_nesting(self):
+        text = (
+            "try for 900 seconds\n"
+            "    forany host in xxx yyy\n"
+            "        try for 5 seconds\n            wget http://${host}/flag\n        end\n"
+            "        try for 60 seconds\n            wget http://${host}/data\n        end\n"
+            "    end\n"
+            "end\n"
+        )
+        assert codes(text) == []
+
+    def test_equal_windows(self):
+        text = (
+            "try for 60 seconds\n"
+            "    try for 60 seconds\n        cmd\n    end\n"
+            "end\n"
+        )
+        assert codes(text) == []
+
+    def test_attempt_bounded_outer_is_no_budget(self):
+        text = (
+            "try 3 times\n"
+            "    try for 300 seconds\n        cmd\n    end\n"
+            "end\n"
+        )
+        assert codes(text) == []

@@ -1,0 +1,44 @@
+"""FTL009: time literals that cannot mean what they say (§2)."""
+
+from repro.lint import lint_text
+
+from .conftest import codes
+
+
+class TestFires:
+    def test_zero_window(self):
+        diags = lint_text("try for 0 seconds\n    cmd\nend\n")
+        assert [d.code for d in diags] == ["FTL009"]
+        assert "zero-length" in diags[0].message
+
+    def test_interval_swallows_window(self):
+        diags = lint_text(
+            "try for 10 seconds every 30 seconds\n    cmd\nend\n"
+        )
+        assert [d.code for d in diags] == ["FTL009"]
+        assert "at most one attempt" in diags[0].message
+
+    def test_interval_equal_to_window(self):
+        assert codes(
+            "try for 30 seconds every 30 seconds\n    cmd\nend\n"
+        ) == ["FTL009"]
+
+    def test_day_or_more_written_in_seconds(self):
+        diags = lint_text("try for 172800 seconds\n    cmd\nend\n")
+        assert [d.code for d in diags] == ["FTL009"]
+        assert "2d" in diags[0].message
+
+
+class TestStaysQuiet:
+    def test_papers_own_windows(self):
+        assert codes("try for 300 seconds\n    cmd\nend\n") == []
+        assert codes("try for 900 seconds\n    cmd\nend\n") == []
+
+    def test_large_window_in_sane_units(self):
+        assert codes("try for 2 days\n    cmd\nend\n") == []
+        assert codes("try for 48 hours\n    cmd\nend\n") == []
+
+    def test_healthy_interval(self):
+        assert codes(
+            "try for 300 seconds every 10 seconds\n    cmd\nend\n"
+        ) == []

@@ -1,0 +1,88 @@
+"""FTL010: shared-resource acquire in a retry loop with no probe (§5).
+
+The rule mirrors the paper's three scenarios: ``condor_submit``,
+``store_output``/``store_reserved`` and ``wget …/data`` are acquires;
+``cut``, ``df_estimate``, ``reserve_output``, ``wget …/flag`` and any
+capture-into-a-variable command count as sensing.
+"""
+
+from repro.clients.base import ALOHA, ETHERNET, FIXED
+from repro.clients.scripts import (
+    producer_script,
+    producer_script_reserved,
+    reader_script,
+    submit_script,
+)
+from repro.lint import LintConfig, lint_text
+
+from .conftest import codes
+
+#: Lint with FTL010 suppressions ignored by stripping the markers.
+def _codes_unsuppressed(text):
+    return [d.code for d in lint_text(text.replace("# lint: disable=FTL010", ""))]
+
+
+class TestFires:
+    def test_bare_submit_loop(self):
+        text = "try for 300 seconds\n    condor_submit submit.job\nend\n"
+        diags = lint_text(text)
+        assert [d.code for d in diags] == ["FTL010"]
+        assert "condor_submit" in diags[0].message
+
+    def test_bare_store_loop(self):
+        text = "try for 300 seconds\n    store_output\nend\n"
+        assert codes(text) == ["FTL010"]
+
+    def test_bare_data_fetch(self):
+        text = (
+            "try for 900 seconds\n"
+            "    forany host in xxx yyy\n"
+            "        try for 60 seconds\n"
+            "            wget http://${host}/data\n"
+            "        end\n"
+            "    end\n"
+            "end\n"
+        )
+        assert codes(text) == ["FTL010"]
+
+    def test_aloha_templates_without_suppression(self):
+        for text in (
+            submit_script(ALOHA),
+            producer_script(FIXED, 10.0),
+            reader_script(ALOHA, ["xxx", "yyy"]),
+        ):
+            assert _codes_unsuppressed(text) == ["FTL010"]
+
+
+class TestStaysQuiet:
+    def test_probe_before_acquire(self):
+        text = (
+            "try for 300 seconds\n"
+            "    cut -f2 /proc/sys/fs/file-nr -> n\n"
+            "    if ${n} .lt. 1000\n        failure\n"
+            "    else\n        condor_submit submit.job\n    end\n"
+            "end\n"
+        )
+        assert codes(text) == []
+
+    def test_flag_probe_in_preceding_try(self):
+        assert codes(reader_script(ETHERNET, ["xxx", "yyy"])) == []
+
+    def test_reservation_counts_as_sensing(self):
+        assert codes(producer_script_reserved(10.0)) == []
+
+    def test_acquire_outside_any_retry_loop(self):
+        # No try, no retry pressure: one shot at the resource is not the
+        # melt pattern the figures measure.
+        assert codes("condor_submit submit.job\n") == []
+
+    def test_all_templates_lint_clean_as_shipped(self):
+        for discipline in (ETHERNET, ALOHA, FIXED):
+            for text in (
+                submit_script(discipline),
+                producer_script(discipline, 10.0),
+                reader_script(discipline, ["xxx", "yyy", "zzz"]),
+            ):
+                assert lint_text(
+                    text, config=LintConfig(warn_as_error=True)
+                ) == []

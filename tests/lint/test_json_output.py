@@ -1,0 +1,67 @@
+"""Golden machine-readable output: the JSON contract CI scripts consume."""
+
+import json
+
+from repro.lint import LintConfig, diagnostics_to_json, lint_text
+
+from .conftest import FIXTURES
+
+
+def _render(name, *, warn_as_error=False):
+    path = FIXTURES / "bad" / name
+    diags = lint_text(
+        path.read_text(), name,
+        config=LintConfig(warn_as_error=warn_as_error),
+    )
+    return diagnostics_to_json({name: diags})
+
+
+class TestGolden:
+    def test_fixed_client_document(self):
+        document = json.loads(_render("fixed_client.ftsh"))
+        assert document == {
+            "version": 1,
+            "tool": "repro.lint",
+            "files": [
+                {
+                    "path": "fixed_client.ftsh",
+                    "diagnostics": [
+                        {
+                            "code": "FTL002",
+                            "severity": "warning",
+                            "message": (
+                                "'try … every 0' retries with no delay "
+                                "— the paper's 'Fixed' client, which "
+                                "collapses the shared resource under load"
+                            ),
+                            "source": "fixed_client.ftsh",
+                            "line": 5,
+                            "column": 1,
+                            "rule": "zero-backoff",
+                            "paper": "§5, Figures 2–6",
+                            "suggestion": (
+                                "drop 'every 0 <unit>' to restore exponential "
+                                "backoff, or choose a positive interval"
+                            ),
+                        }
+                    ],
+                }
+            ],
+            "summary": {"files": 1, "errors": 0, "warnings": 1, "info": 0},
+        }
+
+    def test_promotion_reflected_in_summary(self):
+        document = json.loads(_render("unbounded_try.ftsh", warn_as_error=True))
+        (entry,) = document["files"]
+        assert [d["code"] for d in entry["diagnostics"]] == ["FTL001"]
+        assert [d["severity"] for d in entry["diagnostics"]] == ["error"]
+        assert document["summary"] == {
+            "files": 1, "errors": 1, "warnings": 0, "info": 0,
+        }
+
+    def test_stable_key_order(self):
+        # The textual rendering itself is part of the contract: keys come
+        # out in the documented order so diffs stay readable.
+        text = _render("unbounded_try.ftsh")
+        first = text.index('"code"')
+        assert first < text.index('"severity"') < text.index('"message"')

@@ -1,0 +1,53 @@
+"""Lint-on-load in the REPL: advisory lines, never a blocker."""
+
+import io
+
+from repro.core.backoff import BackoffPolicy
+from repro.core.realruntime import RealDriver
+from repro.repl import Repl
+
+FAST = BackoffPolicy(base=0.05, factor=2.0, ceiling=0.2,
+                     jitter_low=1.0, jitter_high=1.0)
+
+
+def make_repl(lint=True):
+    stdout = io.StringIO()
+    repl = Repl(driver=RealDriver(term_grace=0.2), policy=FAST,
+                stdin=io.StringIO(), stdout=stdout, prompt=False, lint=lint)
+    return repl, stdout
+
+
+class TestReplLint:
+    def test_smelly_entry_warns_but_runs(self):
+        repl, stdout = make_repl()
+        assert repl.execute("try 1 times every 0 seconds\nx=1\nend")
+        out = stdout.getvalue()
+        assert "lint: " in out and "FTL002" in out
+        assert "ok" in out
+
+    def test_clean_entry_is_silent(self):
+        repl, stdout = make_repl()
+        assert repl.execute("x=1")
+        assert "lint:" not in stdout.getvalue()
+
+    def test_session_variables_are_assumed_defined(self):
+        repl, stdout = make_repl()
+        assert repl.execute("x=paper")
+        assert repl.execute("echo ${x}")
+        assert "FTL005" not in stdout.getvalue()
+
+    def test_truly_undefined_still_warns(self):
+        repl, stdout = make_repl()
+        repl.execute("echo ${never_set}")
+        assert "FTL005" in stdout.getvalue()
+
+    def test_session_functions_are_assumed_defined(self):
+        repl, stdout = make_repl()
+        assert repl.execute("function greet\necho hi\nend")
+        stdout.truncate(0)
+        assert "FTL005" not in stdout.getvalue()
+
+    def test_lint_can_be_disabled(self):
+        repl, stdout = make_repl(lint=False)
+        repl.execute("try 1 times every 0 seconds\nx=1\nend")
+        assert "lint:" not in stdout.getvalue()
