@@ -165,6 +165,26 @@ def build_argparser() -> argparse.ArgumentParser:
         metavar="N",
         help="seed for the fault plan's own random stream (default 0)",
     )
+    parser.add_argument(
+        "--submit",
+        metavar="URL",
+        help="submit the script to a repro service (python -m "
+        "repro.service) instead of running it locally; waits for the "
+        "result and keeps the ftsh exit contract (2 on rejection)",
+    )
+    parser.add_argument(
+        "--submit-world",
+        choices=("condor", "replica", "buffer"),
+        default="condor",
+        help="with --submit: which simulated grid world to run against",
+    )
+    parser.add_argument(
+        "--submit-seed",
+        type=int,
+        default=2003,
+        metavar="N",
+        help="with --submit: seed for the run's random streams",
+    )
     return parser
 
 
@@ -237,6 +257,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except (ValueError, FtshSyntaxError):
             print(f"ftsh: bad timeout {args.timeout!r}", file=sys.stderr)
             return 2
+
+    if args.submit:
+        from .service.client import ServiceClient, ServiceError
+
+        client = ServiceClient(url=args.submit)
+        try:
+            status = client.submit_script(
+                text, variables=variables, world=args.submit_world,
+                timeout=timeout, seed=args.submit_seed)
+            final = client.wait(status.job_id)
+            outcome = client.result(status.job_id)
+        except ServiceError as exc:
+            print(f"ftsh: {exc}", file=sys.stderr)
+            for line in exc.details:
+                print(f"ftsh: {line}", file=sys.stderr)
+            return 2
+        import json as _json
+
+        print(_json.dumps(outcome.to_jsonable(), indent=2, sort_keys=True))
+        if final.state != "done":
+            print(f"ftsh: job {final.state}: {final.error or ''}",
+                  file=sys.stderr)
+            return 1
+        if (isinstance(outcome.result, dict)
+                and not outcome.result.get("success", False)):
+            print(f"ftsh: script failed: {outcome.result.get('reason')}",
+                  file=sys.stderr)
+            return 1
+        return 0
 
     from .core.realruntime import RealDriver
     from .core.shell_log import LOG_COMMANDS, LOG_RESULTS, LOG_TRACE

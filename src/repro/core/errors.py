@@ -96,3 +96,16 @@ class UndefinedVariableError(FtshFailure):
 
 class SimulationError(FtshError):
     """Base class for defects detected inside the simulation kernel."""
+
+
+class BudgetExceeded(SimulationError):
+    """A bounded run (:meth:`repro.sim.Engine.run_budgeted`) hit its cap.
+
+    ``budget`` names which cap tripped (``"events"`` or ``"sim-time"``)
+    so sandboxes can map the overrun to a typed rejection.
+    """
+
+    def __init__(self, budget: str, limit: float, message: str) -> None:
+        self.budget = budget
+        self.limit = limit
+        super().__init__(message)

@@ -9,17 +9,30 @@ randomness from named streams seeded by its params — that serial,
 parallel, and cached executions are byte-identical.
 """
 
-from .cache import (
-    ResultCache,
-    canonical,
-    canonical_json,
-    code_fingerprint,
-    default_cache_dir,
-)
-from .executor import CellSpec, resolve_jobs, run_cells
+from .executor import CampaignCancelled, CellSpec, resolve_jobs, run_cells
 from .transport import strip_observability, to_jsonable
 
+_CACHE_NAMES = (
+    "ResultCache",
+    "canonical",
+    "canonical_json",
+    "code_fingerprint",
+    "default_cache_dir",
+)
+
+
+def __getattr__(name: str):
+    """Lazy cache import: keeps ``python -m repro.parallel.cache`` from
+    tripping runpy's already-imported warning."""
+    if name in _CACHE_NAMES:
+        from . import cache
+
+        return getattr(cache, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "CampaignCancelled",
     "CellSpec",
     "ResultCache",
     "canonical",

@@ -140,6 +140,12 @@ class ResultCache:
                 AttributeError, ImportError):
             self.misses += 1
             return False, None
+        try:
+            # Touch on hit so mtime is a recency signal: trim() drops the
+            # least recently *used* entry, not the least recently written.
+            os.utime(path)
+        except OSError:
+            pass
         self.hits += 1
         return True, value
 
@@ -166,6 +172,156 @@ class ResultCache:
         return {"hits": self.hits, "misses": self.misses,
                 "stores": self.stores}
 
+    # ------------------------------------------------------------------
+    # Store management (the ``python -m repro.parallel.cache`` surface)
+    # ------------------------------------------------------------------
+    def entries(self) -> list[tuple[str, int, float]]:
+        """Every stored entry as ``(key, bytes, mtime)``, oldest first.
+
+        mtime is refreshed on every hit (see :meth:`get`), so "oldest"
+        means least recently used, which is the eviction order
+        :meth:`trim` applies.
+        """
+        rows: list[tuple[str, int, float]] = []
+        try:
+            shards = sorted(os.listdir(self.root))
+        except OSError:
+            return rows
+        for shard in shards:
+            shard_dir = os.path.join(self.root, shard)
+            if len(shard) != 2 or not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if not name.endswith(".pkl"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    info = os.stat(path)
+                except OSError:
+                    continue
+                rows.append((name[:-4], info.st_size, info.st_mtime))
+        rows.sort(key=lambda row: (row[2], row[0]))
+        return rows
+
+    def disk_stats(self) -> dict[str, Any]:
+        """Aggregate view of the on-disk store: count, bytes, age span."""
+        rows = self.entries()
+        return {
+            "root": self.root,
+            "entries": len(rows),
+            "bytes": sum(size for _key, size, _mtime in rows),
+            "oldest": rows[0][2] if rows else None,
+            "newest": rows[-1][2] if rows else None,
+        }
+
+    def remove(self, key: str) -> bool:
+        """Delete one entry; True if it existed."""
+        try:
+            os.unlink(self._path(key))
+        except OSError:
+            return False
+        return True
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for key, _size, _mtime in self.entries():
+            if self.remove(key):
+                removed += 1
+        return removed
+
+    def trim(self, max_bytes: int) -> list[str]:
+        """Evict least-recently-used entries until the store fits.
+
+        Returns the evicted keys (possibly empty).  ``max_bytes=0``
+        empties the store.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        rows = self.entries()
+        total = sum(size for _key, size, _mtime in rows)
+        evicted: list[str] = []
+        for key, size, _mtime in rows:
+            if total <= max_bytes:
+                break
+            if self.remove(key):
+                total -= size
+                evicted.append(key)
+        return evicted
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<ResultCache root={self.root!r} hits={self.hits} "
                 f"misses={self.misses}>")
+
+
+# ---------------------------------------------------------------------------
+# CLI: inspect and bound the shared store backing campaigns + the service
+# ---------------------------------------------------------------------------
+
+def _format_bytes(size: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024
+    return f"{int(size)} B"  # pragma: no cover - unreachable
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """``python -m repro.parallel.cache --stats|--clear|--max-bytes N``."""
+    import argparse
+    import time
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.parallel.cache",
+        description="Inspect and bound the content-addressed result cache.",
+    )
+    parser.add_argument(
+        "--dir", metavar="DIR", default=None,
+        help="cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    action = parser.add_mutually_exclusive_group()
+    action.add_argument(
+        "--stats", action="store_true",
+        help="print entry count, total bytes and entry age span (default)",
+    )
+    action.add_argument(
+        "--clear", action="store_true", help="delete every cached result"
+    )
+    action.add_argument(
+        "--max-bytes", type=int, metavar="N",
+        help="evict least-recently-used entries until the store is <= N bytes",
+    )
+    args = parser.parse_args(argv)
+
+    # Management never needs the code fingerprint (and must not fail on
+    # a store written by a different checkout), so pin a dummy one.
+    store = ResultCache(root=args.dir, fingerprint="-")
+
+    if args.clear:
+        removed = store.clear()
+        print(f"cleared {removed} entries from {store.root}")
+        return 0
+    if args.max_bytes is not None:
+        if args.max_bytes < 0:
+            parser.error(f"--max-bytes must be >= 0, got {args.max_bytes}")
+        evicted = store.trim(args.max_bytes)
+        stats = store.disk_stats()
+        print(f"evicted {len(evicted)} entries; {stats['entries']} remain "
+              f"({_format_bytes(stats['bytes'])}) in {store.root}")
+        return 0
+
+    stats = store.disk_stats()
+    print(f"cache root: {stats['root']}")
+    print(f"entries:    {stats['entries']}")
+    print(f"bytes:      {stats['bytes']} ({_format_bytes(stats['bytes'])})")
+    if stats["entries"]:
+        now = time.time()
+        print(f"oldest:     {now - stats['oldest']:.0f}s ago")
+        print(f"newest:     {now - stats['newest']:.0f}s ago")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    import sys
+
+    sys.exit(main(sys.argv[1:]))

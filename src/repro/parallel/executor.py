@@ -23,15 +23,41 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional, Sequence
 
-from .cache import ResultCache
 from .transport import strip_observability
+
+if TYPE_CHECKING:
+    from .cache import ResultCache
 
 #: Progress callback: ``(cell_key, status)`` with status one of
 #: ``"hit"`` (served from cache), ``"run"`` (computing), ``"done"``.
 Progress = Callable[[str, str], None]
+
+#: How a caller asks a running campaign to stop: anything with
+#: ``is_set()`` (a ``threading.Event``) or a plain bool-returning callable.
+Cancel = Any
+
+#: Seconds between cancellation checks while waiting on a worker future.
+_CANCEL_POLL = 0.1
+
+
+class CampaignCancelled(Exception):
+    """A campaign stopped early because its cancel hook fired.
+
+    Raised by :func:`run_cells` between cells (serial) or between future
+    waits (parallel); pending futures are cancelled and the pool is shut
+    down before this propagates, so no workers leak.
+    """
+
+
+def _cancelled(cancel: Optional[Cancel]) -> bool:
+    if cancel is None:
+        return False
+    probe = getattr(cancel, "is_set", cancel)
+    return bool(probe())
 
 
 @dataclass(frozen=True)
@@ -75,6 +101,7 @@ def run_cells(
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     progress: Optional[Progress] = None,
+    cancel: Optional[Cancel] = None,
 ) -> list[Any]:
     """Execute every cell; return results in submission order.
 
@@ -82,6 +109,14 @@ def run_cells(
     aligned with ``cells`` no matter how execution interleaved, and the
     values are identical whether computed serially, in parallel, or
     served from a warm cache.
+
+    ``cancel`` (a ``threading.Event`` or bool-returning callable) stops
+    the campaign between cells: pending work is cancelled, the pool shuts
+    down without leaking workers, and :class:`CampaignCancelled` is
+    raised.  A KeyboardInterrupt (or SystemExit) gets the same clean
+    shutdown — ``cancel_futures=True`` instead of orphaned workers —
+    before re-raising; the service plane reuses both paths for job
+    cancellation.
     """
     say = progress if progress is not None else (lambda _key, _status: None)
     results: list[Any] = [None] * len(cells)
@@ -102,18 +137,39 @@ def run_cells(
     workers = resolve_jobs(jobs)
     if workers <= 1 or len(pending) <= 1:
         for index in pending:
+            if _cancelled(cancel):
+                raise CampaignCancelled(cells[index].key)
             say(cells[index].key, "run")
             results[index] = _execute(cells[index])
             say(cells[index].key, "done")
     else:
-        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+        try:
             futures = {}
             for index in pending:
                 say(cells[index].key, "run")
                 futures[index] = pool.submit(_execute, cells[index])
             for index in pending:
-                results[index] = futures[index].result()
+                while True:
+                    if _cancelled(cancel):
+                        raise CampaignCancelled(cells[index].key)
+                    try:
+                        results[index] = futures[index].result(
+                            timeout=_CANCEL_POLL if cancel is not None
+                            else None)
+                        break
+                    except FutureTimeout:
+                        continue
                 say(cells[index].key, "done")
+        except (KeyboardInterrupt, SystemExit, CampaignCancelled):
+            # The paper's discipline applied to ourselves: release the
+            # shared resource on the way out.  cancel_futures drops the
+            # queued cells; the one mid-flight finishes (POSIX gives no
+            # safe preemption), then every worker exits.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        else:
+            pool.shutdown(wait=True)
 
     if cache is not None:
         for index in pending:

@@ -38,7 +38,7 @@ import heapq
 from itertools import count
 from typing import Any, Callable, Optional
 
-from ..core.errors import SimulationError
+from ..core.errors import BudgetExceeded, SimulationError
 from .events import AllOf, AnyOf, Carrier, Event, Timeout
 from .process import Process, ProcessGenerator
 from .rng import RandomStreams
@@ -345,6 +345,47 @@ class Engine:
                 raise event._value
         self._now = horizon
         return None
+
+    def run_budgeted(
+        self,
+        until: Event,
+        max_events: Optional[int] = None,
+        horizon: Optional[float] = None,
+    ) -> tuple[Any, int]:
+        """Run until ``until`` fires, under an event cap and a time cap.
+
+        The service sandbox's enforcement point: unlike :meth:`run`, this
+        loop is built from :meth:`step` (one bounds check per event, the
+        hot inlined loops stay untouched) and refuses to dispatch more
+        than ``max_events`` events or to advance the clock past
+        ``horizon`` simulated seconds, raising
+        :class:`~repro.core.errors.BudgetExceeded` instead.  Returns
+        ``(value, events_dispatched)`` — the budget actually consumed is
+        part of the result so callers can report it.
+        """
+        events = 0
+        while not until.processed:
+            when = self.peek()
+            if when == INFINITY:
+                raise SimulationError(
+                    "run_budgeted: queue drained before event fired"
+                )
+            if horizon is not None and when > horizon:
+                raise BudgetExceeded(
+                    "sim-time", horizon,
+                    f"simulated-time budget exceeded ({horizon:g}s)",
+                )
+            if max_events is not None and events >= max_events:
+                raise BudgetExceeded(
+                    "events", max_events,
+                    f"event budget exceeded ({max_events} events)",
+                )
+            self.step()
+            events += 1
+        if until.ok:
+            return until.value, events
+        until.defuse()
+        raise until.value
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         queued = len(self._run) + len(self._heap)

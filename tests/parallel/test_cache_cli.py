@@ -1,0 +1,126 @@
+"""Cache store management: LRU bookkeeping, trim, and the CLI."""
+
+import os
+import time
+
+import pytest
+
+from repro.parallel.cache import ResultCache, main
+
+
+def fn(x):
+    return x
+
+
+def filled_cache(root, n=4, payload=b"x" * 100):
+    cache = ResultCache(root=str(root), fingerprint="t")
+    keys = []
+    for i in range(n):
+        key = cache.key_for(fn, (i,), {})
+        cache.put(key, payload)
+        keys.append(key)
+    return cache, keys
+
+
+class TestManagement:
+    def test_entries_oldest_first(self, tmp_path):
+        cache, keys = filled_cache(tmp_path)
+        rows = cache.entries()
+        assert [key for key, _size, _mtime in rows] is not None
+        assert len(rows) == 4
+        mtimes = [mtime for _key, _size, mtime in rows]
+        assert mtimes == sorted(mtimes)
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        cache, keys = filled_cache(tmp_path)
+        # Age everything, then touch the first-stored entry via get().
+        past = time.time() - 1000
+        for key, _size, _mtime in cache.entries():
+            os.utime(cache._path(key), (past, past))
+        hit, _value = cache.get(keys[0])
+        assert hit
+        rows = cache.entries()
+        assert rows[-1][0] == keys[0]  # most recently used now
+
+    def test_disk_stats(self, tmp_path):
+        cache, _keys = filled_cache(tmp_path)
+        stats = cache.disk_stats()
+        assert stats["entries"] == 4
+        assert stats["bytes"] > 0
+        assert stats["oldest"] <= stats["newest"]
+
+    def test_empty_stats(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path / "empty"), fingerprint="t")
+        stats = cache.disk_stats()
+        assert stats["entries"] == 0
+        assert stats["oldest"] is None
+
+    def test_remove(self, tmp_path):
+        cache, keys = filled_cache(tmp_path)
+        assert cache.remove(keys[0]) is True
+        assert cache.remove(keys[0]) is False
+        assert cache.disk_stats()["entries"] == 3
+
+    def test_clear(self, tmp_path):
+        cache, _keys = filled_cache(tmp_path)
+        assert cache.clear() == 4
+        assert cache.disk_stats()["entries"] == 0
+
+    def test_trim_evicts_lru_first(self, tmp_path):
+        cache, keys = filled_cache(tmp_path)
+        # Make keys[1] the oldest by backdating it.
+        past = time.time() - 1000
+        os.utime(cache._path(keys[1]), (past, past))
+        total = cache.disk_stats()["bytes"]
+        entry = total // 4
+        evicted = cache.trim(total - entry)
+        assert evicted == [keys[1]]
+        assert cache.disk_stats()["entries"] == 3
+
+    def test_trim_to_zero_empties(self, tmp_path):
+        cache, _keys = filled_cache(tmp_path)
+        assert len(cache.trim(0)) == 4
+        assert cache.disk_stats()["entries"] == 0
+
+    def test_trim_noop_when_under_budget(self, tmp_path):
+        cache, _keys = filled_cache(tmp_path)
+        assert cache.trim(10**9) == []
+
+    def test_trim_negative_rejected(self, tmp_path):
+        cache, _keys = filled_cache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.trim(-1)
+
+
+class TestCli:
+    def test_stats_default(self, tmp_path, capsys):
+        filled_cache(tmp_path)
+        assert main(["--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries:    4" in out
+        assert str(tmp_path) in out
+
+    def test_stats_empty_store(self, tmp_path, capsys):
+        assert main(["--dir", str(tmp_path / "none")]) == 0
+        assert "entries:    0" in capsys.readouterr().out
+
+    def test_clear(self, tmp_path, capsys):
+        cache, _keys = filled_cache(tmp_path)
+        assert main(["--dir", str(tmp_path), "--clear"]) == 0
+        assert "cleared 4 entries" in capsys.readouterr().out
+        assert cache.disk_stats()["entries"] == 0
+
+    def test_max_bytes(self, tmp_path, capsys):
+        cache, _keys = filled_cache(tmp_path)
+        assert main(["--dir", str(tmp_path), "--max-bytes", "0"]) == 0
+        assert "evicted 4 entries" in capsys.readouterr().out
+        assert cache.disk_stats()["entries"] == 0
+
+    def test_max_bytes_negative_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["--dir", str(tmp_path), "--max-bytes", "-5"])
+        assert exc.value.code == 2
+
+    def test_actions_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--dir", str(tmp_path), "--clear", "--stats"])
