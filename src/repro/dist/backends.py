@@ -1,0 +1,356 @@
+"""The interchangeable executor backends behind ``run_cells``.
+
+Three ways to drain the same work queue, one contract: results are
+positionally aligned with the submitted cells and byte-identical no
+matter which backend computed them (every cell is a pure function of
+its spec, and results travel as the same pickles the cache stores).
+
+* ``inprocess`` — today's path: serial or a ``ProcessPoolExecutor``
+  inside :func:`repro.parallel.run_cells` itself.  The default; zero
+  new moving parts.
+* ``work-stealing`` — a spawn-safe multiprocess pool sharing one task
+  queue: idle workers steal the next cell, a dead worker's in-flight
+  cells are re-enqueued (at-least-once), and results are published to
+  the shared artifact store as they land.
+* ``socket`` — the same queue served over HTTP by a
+  :class:`~repro.dist.coordinator.CoordinatorServer`; workers are
+  separate ``python -m repro.dist.worker`` processes (spawned locally
+  here, or attached from anywhere the URL reaches) with heartbeats and
+  lease-expiry re-enqueue.
+
+The dogfooding the ROADMAP promises is real: N workers contending for
+one queue and one store *is* the paper's shared-service picture, with
+the lease/retry machinery playing the role of the Ethernet discipline.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as stdlib_queue
+import subprocess
+import sys
+import time
+from typing import Any, Callable, Optional, Sequence
+
+from ..parallel.executor import (
+    CampaignCancelled,
+    CellSpec,
+    _cancelled,
+    _execute,
+    resolve_jobs,
+)
+from .queue import FAILED, TaskQueue
+from .store import ArtifactStore, MemoryArtifactStore
+from .wire import encode_cell
+
+#: Backends consume work items of shape
+#: ``(original index, CellSpec, artifact key or None)``.
+Progress = Callable[[str, str], None]
+
+#: Seconds between orchestration-loop ticks (cancel checks, reaps).
+_TICK = 0.05
+
+#: Executions allowed per cell before the campaign fails.
+MAX_ATTEMPTS = 3
+
+
+class BackendError(RuntimeError):
+    """A distributed backend could not complete the campaign."""
+
+
+# ---------------------------------------------------------------------------
+# Work-stealing backend (multiprocess, spawn-safe)
+# ---------------------------------------------------------------------------
+
+def _ws_worker_main(worker_id: str, task_q, result_q,
+                    store_root: Optional[str],
+                    fingerprint: Optional[str]) -> None:
+    """One pool worker: steal, fetch-or-compute, publish, repeat.
+
+    Runs in a spawned child process; everything it needs arrives as
+    picklable arguments.  The store is rebuilt from (root, fingerprint)
+    so its keys agree with the parent's.
+    """
+    store = None
+    if store_root:
+        from ..parallel.cache import ResultCache
+
+        store = ArtifactStore(
+            ResultCache(store_root, fingerprint=fingerprint))
+    while True:
+        item = task_q.get()
+        if item is None:
+            break
+        index, spec, artifact = item
+        result_q.put(("claim", worker_id, index))
+        try:
+            if store is not None and artifact is not None:
+                hit, value = store.fetch(artifact)
+                if hit:
+                    result_q.put(("done", worker_id, index, value, "store"))
+                    continue
+            value = _execute(spec)
+            if store is not None and artifact is not None:
+                store.publish(artifact, value)
+            result_q.put(("done", worker_id, index, value, "computed"))
+        except BaseException as exc:  # noqa: BLE001 - shipped to parent
+            result_q.put(("fail", worker_id, index,
+                          f"{type(exc).__name__}: {exc}"))
+
+
+def run_work_stealing(
+    items: Sequence[tuple[int, CellSpec, Optional[str]]],
+    jobs: Optional[int],
+    cache,
+    progress: Progress,
+    cancel,
+) -> dict[int, Any]:
+    """Drain ``items`` with a fleet of spawn-safe stealing workers.
+
+    At-least-once: when a worker dies mid-cell (detected by liveness,
+    the local analogue of an expired lease), every unresolved cell not
+    held by a live worker is re-enqueued and a replacement worker is
+    spawned.  Duplicate executions are harmless — cells are pure and
+    the first result wins — but a cell that kills ``MAX_ATTEMPTS``
+    workers in a row fails the campaign.
+    """
+    ctx = multiprocessing.get_context("spawn")
+    task_q: Any = ctx.Queue()
+    result_q: Any = ctx.Queue()
+    store_root = cache.root if cache is not None else None
+    fingerprint = cache.fingerprint if cache is not None else None
+
+    n_workers = max(1, min(resolve_jobs(jobs), len(items)))
+    workers: dict[str, Any] = {}
+    spawned = 0
+    # Replacement workers are budgeted: a fleet whose every member dies
+    # instantly (broken environment, unimportable __main__) must error
+    # out, not respawn forever.
+    spawn_budget = n_workers * (MAX_ATTEMPTS + 1)
+
+    def spawn() -> None:
+        nonlocal spawned
+        if spawned >= spawn_budget:
+            raise BackendError(
+                f"work-stealing workers keep dying "
+                f"({spawned} spawned for a fleet of {n_workers})")
+        worker_id = f"ws{spawned}"
+        spawned += 1
+        process = ctx.Process(
+            target=_ws_worker_main,
+            args=(worker_id, task_q, result_q, store_root, fingerprint),
+            daemon=True)
+        process.start()
+        workers[worker_id] = process
+
+    for item in items:
+        task_q.put(item)
+    for _ in range(n_workers):
+        spawn()
+
+    by_index = {index: (spec, artifact) for index, spec, artifact in items}
+    results: dict[int, Any] = {}
+    attempts: dict[int, int] = {}
+    inflight: dict[str, int] = {}
+
+    def shutdown(kill: bool = False) -> None:
+        for process in workers.values():
+            if kill:
+                if process.is_alive():
+                    process.terminate()
+            else:
+                task_q.put(None)
+        deadline = time.monotonic() + 10.0
+        for process in workers.values():
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+        task_q.close()
+        result_q.close()
+
+    try:
+        while len(results) < len(by_index):
+            if _cancelled(cancel):
+                raise CampaignCancelled("work-stealing backend cancelled")
+            try:
+                message = result_q.get(timeout=_TICK)
+            except stdlib_queue.Empty:
+                _ws_reap_dead(workers, inflight, by_index, results,
+                              attempts, task_q, spawn)
+                continue
+            kind = message[0]
+            if kind == "claim":
+                _, worker_id, index = message
+                inflight[worker_id] = index
+                attempts[index] = attempts.get(index, 0) + 1
+                if attempts[index] > MAX_ATTEMPTS:
+                    raise BackendError(
+                        f"cell {by_index[index][0].key} exceeded "
+                        f"{MAX_ATTEMPTS} attempts")
+                if attempts[index] == 1:
+                    progress(by_index[index][0].key, "run")
+            elif kind == "done":
+                _, worker_id, index, value, _source = message
+                inflight.pop(worker_id, None)
+                if index not in results:  # first result wins duplicates
+                    results[index] = value
+                    progress(by_index[index][0].key, "done")
+            elif kind == "fail":
+                _, worker_id, index, error = message
+                inflight.pop(worker_id, None)
+                # A cell that raised is deterministic; propagate like the
+                # in-process pool does rather than retrying it.
+                raise BackendError(
+                    f"cell {by_index[index][0].key} failed: {error}")
+    except BaseException:
+        shutdown(kill=True)
+        raise
+    shutdown(kill=False)
+    return results
+
+
+def _ws_reap_dead(workers, inflight, by_index, results, attempts,
+                  task_q, spawn) -> None:
+    """Dead-worker recovery: re-enqueue orphaned cells, refill the pool."""
+    dead = [worker_id for worker_id, process in workers.items()
+            if not process.is_alive()]
+    if not dead:
+        return
+    for worker_id in dead:
+        del workers[worker_id]
+        inflight.pop(worker_id, None)
+    # A worker may die between stealing a cell and reporting the claim,
+    # so re-enqueue *every* unresolved cell no live worker holds —
+    # duplicates are safe (pure cells, first result wins).
+    held = set(inflight.values())
+    for index, (spec, artifact) in by_index.items():
+        if index not in results and index not in held:
+            if attempts.get(index, 0) >= MAX_ATTEMPTS:
+                raise BackendError(
+                    f"cell {spec.key} exceeded {MAX_ATTEMPTS} attempts "
+                    f"(workers keep dying under it)")
+            task_q.put((index, spec, artifact))
+    for _ in dead:
+        spawn()
+
+
+# ---------------------------------------------------------------------------
+# Socket backend (HTTP coordinator + worker subprocesses)
+# ---------------------------------------------------------------------------
+
+def _worker_env() -> dict[str, str]:
+    """The spawned worker's environment, with ``repro`` importable."""
+    import repro
+
+    env = dict(os.environ)
+    package_parent = os.path.dirname(
+        os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (package_parent if not existing
+                         else package_parent + os.pathsep + existing)
+    return env
+
+
+def spawn_worker(url: str, worker_id: str,
+                 lease: float = 30.0) -> subprocess.Popen:
+    """Start one ``python -m repro.dist.worker`` against ``url``."""
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.dist.worker", url,
+         "--id", worker_id, "--lease", str(lease), "--quiet"],
+        env=_worker_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def run_socket(
+    items: Sequence[tuple[int, CellSpec, Optional[str]]],
+    jobs: Optional[int],
+    cache,
+    progress: Progress,
+    cancel,
+    lease: float = 30.0,
+    host: str = "127.0.0.1",
+    wait_timeout: Optional[float] = None,
+) -> dict[int, Any]:
+    """Serve ``items`` from a live coordinator to a local worker fleet.
+
+    The coordinator is a real HTTP server on ``host`` (loopback unless
+    told otherwise); workers are separate interpreters that could as
+    well be on other machines.  Lease expiry re-enqueues the cells of
+    any worker that stops heartbeating; results come back through acks,
+    already decoded.
+    """
+    from .coordinator import CoordinatorServer
+
+    task_queue = TaskQueue(lease=lease, max_attempts=MAX_ATTEMPTS)
+    store = (ArtifactStore(cache) if cache is not None
+             else MemoryArtifactStore())
+    task_index: dict[str, int] = {}
+    for index, spec, artifact in items:
+        task = task_queue.submit(
+            encode_cell(spec), key=spec.key, artifact=artifact,
+            cacheable=spec.cacheable)
+        task_index[task.task_id] = index
+
+    n_workers = max(1, min(resolve_jobs(jobs), len(items)))
+    fleet: list[subprocess.Popen] = []
+    seen_states: dict[str, str] = {}
+    deadline = (time.monotonic() + wait_timeout
+                if wait_timeout is not None else None)
+
+    server = CoordinatorServer(task_queue, store, host=host)
+    url = server.start()
+    try:
+        fleet = [spawn_worker(url, f"w{i}", lease=lease)
+                 for i in range(n_workers)]
+        while not task_queue.finished():
+            if _cancelled(cancel):
+                raise CampaignCancelled("socket backend cancelled")
+            if deadline is not None and time.monotonic() > deadline:
+                raise BackendError(
+                    f"campaign still unfinished after {wait_timeout:g}s")
+            task_queue.reap_expired()
+            for task in task_queue.tasks():
+                previous = seen_states.get(task.task_id)
+                if task.state != previous:
+                    seen_states[task.task_id] = task.state
+                    if task.state == "claimed" and previous is None:
+                        progress(task.key, "run")
+                    elif task.state == "done":
+                        progress(task.key, "done")
+            failed = task_queue.failures()
+            if failed:
+                raise BackendError("; ".join(
+                    f"cell {task.key} failed: {task.error}"
+                    for task in failed))
+            if all(process.poll() is not None for process in fleet):
+                raise BackendError(
+                    "every worker exited with cells still queued "
+                    f"({task_queue.outstanding()} outstanding)")
+            time.sleep(_TICK)
+    except BaseException:
+        task_queue.drain()
+        for process in fleet:
+            if process.poll() is None:
+                process.terminate()
+        server.close()
+        raise
+    # Campaign complete: signal drain so workers exit on their next
+    # claim, give them a moment, then stop waiting on stragglers.
+    task_queue.drain()
+    waited_until = time.monotonic() + 5.0
+    for process in fleet:
+        try:
+            process.wait(timeout=max(0.1, waited_until - time.monotonic()))
+        except subprocess.TimeoutExpired:
+            process.terminate()
+    server.close()
+
+    results: dict[int, Any] = {}
+    for task in task_queue.tasks():
+        if task.state == FAILED:  # pragma: no cover - raised above
+            raise BackendError(f"cell {task.key} failed: {task.error}")
+        results[task_index[task.task_id]] = task.result
+    return results

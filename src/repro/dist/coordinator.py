@@ -1,0 +1,269 @@
+"""The socket backend's server half: a work queue over HTTP.
+
+:class:`CoordinatorApp` exposes a :class:`~repro.dist.queue.TaskQueue`
+and an artifact store through the same framework-agnostic
+``handle(method, target, body)`` core the service plane uses — a stdlib
+``ThreadingHTTPServer`` mounts it, tests can call it without a socket.
+
+The worker protocol (all JSON unless noted)::
+
+    POST /queue/claim            {"worker", "lease"?}  -> 200 task
+                                                       |  204 idle
+                                                       |  410 drained
+    POST /queue/tasks/{id}/ack   {"worker", "result", "source"}
+    POST /queue/tasks/{id}/nack  {"worker", "error", "requeue"?}
+    POST /queue/heartbeat        {"worker"}            -> {"extended": n}
+    GET  /queue/status           queue + store counters, task states
+    GET  /artifacts/{key}        pickled artifact (octet-stream) | 404
+    PUT  /artifacts/{key}        publish a pickled artifact      -> 204
+    GET  /healthz                liveness
+
+A claim leases the task for ``lease`` seconds (bounded by the queue
+default); ack/nack/heartbeat before the deadline or the task goes back
+on the queue for someone else — at-least-once delivery, the paper's
+retry discipline applied to our own executor.  410 on claim is the
+drain signal: workers exit cleanly when the campaign is over.
+
+Security: task payloads and artifacts are pickles.  Bind loopback (the
+default) or a network you trust end-to-end; this protocol authenticates
+nobody.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+
+from .queue import QueueError, TaskQueue
+from .wire import WireError, decode_blob
+
+JSON = "application/json"
+BINARY = "application/octet-stream"
+
+#: Longest lease a worker may ask for, as a multiple of the queue default.
+MAX_LEASE_FACTOR = 10.0
+
+
+def _dumps(doc: Any) -> bytes:
+    return (json.dumps(doc, sort_keys=True, separators=(",", ":"))
+            + "\n").encode()
+
+
+def _error(code: str, message: str) -> bytes:
+    return _dumps({"error": {"code": code, "message": message}})
+
+
+class CoordinatorApp:
+    """Routes worker-protocol requests onto the queue and the store."""
+
+    def __init__(self, queue: TaskQueue, store: Any = None) -> None:
+        self.queue = queue
+        self.store = store
+
+    # ------------------------------------------------------------------
+    def handle(self, method: str, target: str,
+               body: bytes = b"") -> tuple[int, str, bytes]:
+        parts = [part for part in target.split("?")[0].split("/") if part]
+        try:
+            return self._dispatch(method, parts, body)
+        except QueueError as exc:
+            return 409, JSON, _error("queue", str(exc))
+        except WireError as exc:
+            return 400, JSON, _error("wire", str(exc))
+        except _BadRequest as exc:
+            return 400, JSON, _error("bad-request", str(exc))
+        except Exception as exc:  # noqa: BLE001 - the HTTP 500 boundary
+            return 500, JSON, _error(
+                "internal", f"{type(exc).__name__}: {exc}")
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, method: str, parts: list[str],
+                  body: bytes) -> tuple[int, str, bytes]:
+        if parts == ["healthz"] and method == "GET":
+            return 200, JSON, _dumps({"status": "ok"})
+
+        if parts == ["queue", "claim"] and method == "POST":
+            doc = _json_body(body)
+            worker = _worker_id(doc)
+            lease = doc.get("lease")
+            if lease is not None:
+                lease = min(float(lease),
+                            self.queue.lease * MAX_LEASE_FACTOR)
+            task = self.queue.claim(worker, lease=lease)
+            if task is None:
+                if self.queue.draining:
+                    return 410, JSON, _error("drained", "queue is drained")
+                return 204, JSON, b""
+            return 200, JSON, _dumps({
+                "task_id": task.task_id,
+                "attempt": task.attempts,
+                "artifact": task.artifact,
+                "cell": task.payload,
+            })
+
+        if (len(parts) == 4 and parts[:2] == ["queue", "tasks"]
+                and method == "POST"):
+            task_id, action = parts[2], parts[3]
+            doc = _json_body(body)
+            worker = _worker_id(doc)
+            if action == "ack":
+                result = decode_blob(_require_str(doc, "result"))
+                source = str(doc.get("source") or "computed")
+                self.queue.ack(task_id, worker, result=result, source=source)
+                return 200, JSON, _dumps({"ok": True})
+            if action == "nack":
+                error = _require_str(doc, "error")
+                requeue = bool(doc.get("requeue", True))
+                task = self.queue.nack(task_id, worker, error,
+                                       requeue=requeue)
+                return 200, JSON, _dumps(
+                    {"ok": True, "state": task.state})
+
+        if parts == ["queue", "heartbeat"] and method == "POST":
+            doc = _json_body(body)
+            extended = self.queue.heartbeat(_worker_id(doc))
+            return 200, JSON, _dumps({"extended": extended})
+
+        if parts == ["queue", "status"] and method == "GET":
+            tasks = self.queue.tasks()
+            return 200, JSON, _dumps({
+                "draining": self.queue.draining,
+                "outstanding": self.queue.outstanding(),
+                "stats": self.queue.stats.as_dict(),
+                "store": (self.store.stats()
+                          if self.store is not None else None),
+                "tasks": [task.describe() for task in tasks],
+            })
+
+        if len(parts) == 2 and parts[0] == "artifacts":
+            key = parts[1]
+            if self.store is None:
+                return 404, JSON, _error("no-store",
+                                         "coordinator has no artifact store")
+            if method == "GET":
+                blob = self.store.fetch_bytes(key)
+                if blob is None:
+                    return 404, JSON, _error("miss", f"no artifact {key}")
+                return 200, BINARY, blob
+            if method == "PUT":
+                try:
+                    self.store.publish_bytes(key, body)
+                except Exception as exc:  # noqa: BLE001 - bad blob
+                    raise _BadRequest(f"unstorable artifact: {exc}")
+                return 204, JSON, b""
+
+        return 404, JSON, _error(
+            "unknown-route", f"no route {method} /{'/'.join(parts)}")
+
+
+class _BadRequest(Exception):
+    """Malformed request body/fields; mapped to 400."""
+
+
+def _json_body(body: bytes) -> dict[str, Any]:
+    if not body:
+        raise _BadRequest("empty request body")
+    try:
+        doc = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _BadRequest(f"body is not valid JSON ({exc})")
+    if not isinstance(doc, dict):
+        raise _BadRequest("body must be a JSON object")
+    return doc
+
+
+def _worker_id(doc: dict[str, Any]) -> str:
+    worker = doc.get("worker")
+    if not isinstance(worker, str) or not worker:
+        raise _BadRequest("field 'worker' must be a non-empty string")
+    return worker
+
+
+def _require_str(doc: dict[str, Any], field: str) -> str:
+    value = doc.get(field)
+    if not isinstance(value, str):
+        raise _BadRequest(f"field {field!r} must be a string")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Stdlib skin
+# ---------------------------------------------------------------------------
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-dist"
+    protocol_version = "HTTP/1.1"
+    app: CoordinatorApp  # set by make_server on the subclass
+
+    def _serve(self, method: str) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        status, content_type, payload = self.app.handle(
+            method, self.path, body)
+        self.send_response(status)
+        if payload or status not in (204, 304):
+            self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        if payload:
+            self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._serve("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._serve("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._serve("PUT")
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Quiet: /queue/status is the observable surface."""
+
+
+def make_server(app: CoordinatorApp, host: str = "127.0.0.1",
+                port: int = 0) -> ThreadingHTTPServer:
+    """Bind the coordinator; ``port=0`` picks a free one."""
+    handler = type("Handler", (_Handler,), {"app": app})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+class CoordinatorServer:
+    """A served CoordinatorApp with its own thread and lifecycle.
+
+    ``with CoordinatorServer(queue, store) as url: ...`` — the pattern
+    both the socket backend and the tests use.
+    """
+
+    def __init__(self, queue: TaskQueue, store: Any = None,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.app = CoordinatorApp(queue, store)
+        self.server = make_server(self.app, host=host, port=port)
+        bound_host, bound_port = self.server.server_address[:2]
+        self.url = f"http://{bound_host}:{bound_port}"
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> str:
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.server.serve_forever,
+                name="repro-dist-coordinator", daemon=True)
+            self._thread.start()
+        return self.url
+
+    def close(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> str:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,256 @@
+"""The socket worker: pull cells from a coordinator, push results back.
+
+::
+
+    python -m repro.dist.worker http://127.0.0.1:8777 --id w0
+
+The loop is deliberately boring — claim, maybe fetch from the shared
+store, compute, publish, ack — with the paper's client discipline wired
+into every edge:
+
+* transient transport errors back off exponentially (capped) and retry;
+* an idle queue (204) is polled gently, not hammered;
+* a drained queue (410) is a clean exit;
+* while a cell runs, a heartbeat thread extends the lease, so slow
+  cells survive short lease windows but a *crashed* worker's lease
+  expires and the coordinator re-queues its task;
+* a cell whose artifact is already in the store is acked as
+  ``source: "store"`` without recomputing — one worker's work is every
+  worker's warm hit.
+
+Workers share the coordinator's artifact store through its
+``/artifacts`` endpoints, so nothing assumes a shared filesystem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from typing import Any, Optional
+
+from ..parallel.executor import CellSpec
+from ..service.http import (
+    HttpTransportError,
+    backoff_delay,
+    http_request,
+)
+from .store import HttpArtifactStore
+from .wire import WireError, decode_cell, encode_blob
+
+#: Seconds between claim attempts while the queue is idle.
+DEFAULT_POLL = 0.2
+
+#: Lease the worker requests per claim.
+DEFAULT_LEASE = 30.0
+
+
+class WorkerError(Exception):
+    """A protocol-level failure the worker cannot work around."""
+
+
+class _Heartbeat:
+    """Extends the worker's leases every ``interval`` seconds."""
+
+    def __init__(self, client: "CoordinatorClient",
+                 interval: float) -> None:
+        self._client = client
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-dist-heartbeat", daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                self._client.heartbeat()
+            except HttpTransportError:
+                # A missed heartbeat is survivable (the lease has slack);
+                # a dead coordinator will fail the next claim loudly.
+                pass
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+
+
+class CoordinatorClient:
+    """The worker's half of the queue protocol (stdlib HTTP only)."""
+
+    def __init__(self, url: str, worker_id: str,
+                 lease: float = DEFAULT_LEASE,
+                 timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.worker_id = worker_id
+        self.lease = lease
+        self.timeout = timeout
+
+    def _post(self, path: str, doc: dict[str, Any],
+              retries: int = 0) -> tuple[int, Any]:
+        response = http_request(
+            self.url + path, method="POST",
+            body=json.dumps(doc).encode(),
+            headers={"Content-Type": "application/json"},
+            timeout=self.timeout, retries=retries)
+        payload: Any = None
+        if response.body:
+            try:
+                payload = json.loads(response.body.decode())
+            except (ValueError, UnicodeDecodeError):
+                payload = None
+        return response.status, payload
+
+    # -- protocol verbs (claim/heartbeat are idempotent: retried) -------
+    def claim(self) -> tuple[str, Optional[dict[str, Any]]]:
+        """``("task", doc)``, ``("idle", None)`` or ``("drained", None)``."""
+        status, doc = self._post(
+            "/queue/claim",
+            {"worker": self.worker_id, "lease": self.lease}, retries=3)
+        if status == 200 and isinstance(doc, dict):
+            return "task", doc
+        if status == 204:
+            return "idle", None
+        if status == 410:
+            return "drained", None
+        raise WorkerError(f"claim failed: HTTP {status} {doc!r}")
+
+    def ack(self, task_id: str, result: Any, source: str) -> None:
+        status, doc = self._post(
+            f"/queue/tasks/{task_id}/ack",
+            {"worker": self.worker_id, "result": encode_blob(result),
+             "source": source})
+        if status == 409:
+            # Lease lost: another worker owns (or finished) the task.
+            # At-least-once means this is a dropped duplicate, not an
+            # error worth dying over.
+            return
+        if status != 200:
+            raise WorkerError(f"ack {task_id} failed: HTTP {status} {doc!r}")
+
+    def nack(self, task_id: str, error: str, requeue: bool = True) -> None:
+        status, doc = self._post(
+            f"/queue/tasks/{task_id}/nack",
+            {"worker": self.worker_id, "error": error, "requeue": requeue})
+        if status not in (200, 409):
+            raise WorkerError(f"nack {task_id} failed: HTTP {status} {doc!r}")
+
+    def heartbeat(self) -> None:
+        self._post("/queue/heartbeat", {"worker": self.worker_id})
+
+
+def execute_cell(spec: CellSpec) -> Any:
+    """Run one decoded cell exactly as the local executor would."""
+    from ..parallel.executor import _execute
+
+    return _execute(spec)
+
+
+def run_task(client: CoordinatorClient, store: HttpArtifactStore,
+             doc: dict[str, Any]) -> str:
+    """Execute one claimed task document; returns the result source."""
+    task_id = str(doc.get("task_id"))
+    cell_doc = doc.get("cell")
+    try:
+        spec = decode_cell(cell_doc if isinstance(cell_doc, dict) else {})
+    except WireError as exc:
+        # Undecodable cells will not improve with retries.
+        client.nack(task_id, f"wire: {exc}", requeue=False)
+        return "error"
+    artifact = doc.get("artifact")
+    with _Heartbeat(client, interval=max(client.lease / 3.0, 0.5)):
+        if artifact and spec.cacheable:
+            hit, value = store.fetch(str(artifact))
+            if hit:
+                client.ack(task_id, value, source="store")
+                return "store"
+        try:
+            value = execute_cell(spec)
+        except Exception as exc:  # noqa: BLE001 - cell isolation boundary
+            client.nack(task_id, f"{type(exc).__name__}: {exc}")
+            return "error"
+        if artifact and spec.cacheable:
+            store.publish(str(artifact), value)
+        client.ack(task_id, value, source="computed")
+        return "computed"
+
+
+def worker_loop(
+    url: str,
+    worker_id: str,
+    poll: float = DEFAULT_POLL,
+    lease: float = DEFAULT_LEASE,
+    max_tasks: Optional[int] = None,
+    say=lambda line: None,
+) -> int:
+    """Claim and execute until the queue drains; returns tasks handled."""
+    client = CoordinatorClient(url, worker_id, lease=lease)
+    store = HttpArtifactStore(url)
+    handled = 0
+    idle_streak = 0
+    while max_tasks is None or handled < max_tasks:
+        try:
+            kind, doc = client.claim()
+        except HttpTransportError as exc:
+            # The coordinator is gone (shutdown race or crash).  Its
+            # queue state outlives us either way; exit instead of
+            # spinning against a dead socket.
+            say(f"coordinator unreachable, exiting: {exc}")
+            break
+        if kind == "drained":
+            say("queue drained, exiting")
+            break
+        if kind == "idle":
+            # Gentle polling with a little backoff, not a tight loop.
+            time.sleep(backoff_delay(min(idle_streak, 4), base=poll,
+                                     cap=poll * 8))
+            idle_streak += 1
+            continue
+        idle_streak = 0
+        assert doc is not None
+        source = run_task(client, store, doc)
+        say(f"task {doc.get('task_id')} [{source}]")
+        handled += 1
+    return handled
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.dist.worker",
+        description="pull campaign cells from a repro.dist coordinator")
+    parser.add_argument("url", help="coordinator base URL")
+    parser.add_argument("--id", default=None,
+                        help="worker id (default: host:pid)")
+    parser.add_argument("--poll", type=float, default=DEFAULT_POLL,
+                        help="seconds between claims when idle")
+    parser.add_argument("--lease", type=float, default=DEFAULT_LEASE,
+                        help="requested lease seconds per task")
+    parser.add_argument("--max-tasks", type=int, default=None,
+                        help="exit after handling N tasks")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    worker_id = args.id or f"{os.uname().nodename}:{os.getpid()}"
+    say = ((lambda line: None) if args.quiet else
+           (lambda line: print(f"worker {worker_id}: {line}", flush=True)))
+    try:
+        handled = worker_loop(
+            args.url, worker_id, poll=args.poll, lease=args.lease,
+            max_tasks=args.max_tasks, say=say)
+    except WorkerError as exc:
+        print(f"worker {worker_id}: fatal: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 130
+    say(f"handled {handled} task(s)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -16,7 +16,10 @@ root by convention) so performance is a tracked number from PR to PR:
   (annotated ``parallel_meaningful: false`` on a 1-CPU box, where pool
   "speedup" is pure overhead);
 * **cache** — the same grid against a cold then a warm content-
-  addressed result cache, asserting the warm run served every cell.
+  addressed result cache, asserting the warm run served every cell;
+* **dist** — the same grid once per ``repro.dist`` backend (in-process,
+  work-stealing, socket) at a 2-worker fleet, each against a fresh
+  cache, asserting every backend reproduced the serial results.
 
 ``--check`` additionally exits non-zero unless the JSON matches the
 schema and the parallel/cached runs reproduced the serial results
@@ -48,7 +51,7 @@ from ..sim.engine import Engine
 from ..sim.events import Interrupt
 from .runall import SCALES, Scale, campaign_cells
 
-SCHEMA = "repro.bench.campaign/2"
+SCHEMA = "repro.bench.campaign/3"
 
 #: Keys every benchmark document must carry (checked by ``--check``).
 REQUIRED = {
@@ -62,6 +65,7 @@ REQUIRED = {
     "parse": dict,
     "campaign": dict,
     "cache": dict,
+    "dist": dict,
     "identical": dict,
 }
 
@@ -270,6 +274,39 @@ def bench_campaign(scale: Scale, seed: int, jobs: int) -> tuple[dict, dict]:
     return campaign, cache_doc
 
 
+def bench_dist(scale: Scale, seed: int, serial: list,
+               serial_s: float) -> dict:
+    """Per-backend campaign throughput at a 2-worker fleet.
+
+    Each backend runs the same grid against its own fresh cache
+    directory (so every cell genuinely computes and then publishes into
+    the shared store), and must reproduce the serial results exactly —
+    the cross-backend determinism contract as a tracked number.
+    Wall-clock overhead vs in-process is machine noise on small grids;
+    the ``identical`` flags are the part that must never change.
+    """
+    cells = _flat_cells(scale, seed)
+    reference = _fingerprint(serial)
+    doc: dict = {"jobs": 2, "backend_overhead": {}}
+    for backend in ("inprocess", "work-stealing", "socket"):
+        with tempfile.TemporaryDirectory(
+                prefix=f"repro-bench-dist-{backend}-") as tmp:
+            cache = ResultCache(tmp)
+            started = time.perf_counter()
+            results = run_cells(cells, jobs=2, cache=cache, backend=backend)
+            seconds = time.perf_counter() - started
+        doc["backend_overhead"][backend] = {
+            "cells": len(cells),
+            "seconds": round(seconds, 3),
+            "cells_per_s": (round(len(cells) / seconds, 2)
+                            if seconds else None),
+            "overhead_vs_serial": (round(seconds / serial_s, 2)
+                                   if serial_s else None),
+            "identical": _fingerprint(results) == reference,
+        }
+    return doc
+
+
 def run_bench(scale_name: str, seed: int, jobs: int | None) -> dict:
     """The full benchmark document for one scale."""
     scale = BENCH_SCALES[scale_name]
@@ -280,6 +317,9 @@ def run_bench(scale_name: str, seed: int, jobs: int | None) -> dict:
         scale.interrupt_waiters)
     parse_doc = bench_parse(scale.parse_iterations)
     campaign_doc, cache_doc = bench_campaign(scale.campaign, seed, workers)
+    serial = run_cells(_flat_cells(scale.campaign, seed))
+    dist_doc = bench_dist(scale.campaign, seed, serial,
+                          campaign_doc["serial_s"])
     return {
         "schema": SCHEMA,
         "scale": scale_name,
@@ -291,9 +331,13 @@ def run_bench(scale_name: str, seed: int, jobs: int | None) -> dict:
         "parse": parse_doc,
         "campaign": campaign_doc,
         "cache": cache_doc,
+        "dist": dist_doc,
         "identical": {
             "parallel_vs_serial": campaign_doc["identical"],
             "cache_vs_serial": cache_doc["identical"],
+            "dist_vs_serial": all(
+                entry["identical"]
+                for entry in dist_doc["backend_overhead"].values()),
         },
     }
 
@@ -315,6 +359,9 @@ def check_document(doc: dict) -> list[str]:
         problems.append("parallel results differ from serial")
     if identical.get("cache_vs_serial") is not True:
         problems.append("cached results differ from serial")
+    if "dist_vs_serial" in identical and \
+            identical.get("dist_vs_serial") is not True:
+        problems.append("a dist backend's results differ from serial")
     if doc.get("cache", {}).get("all_cells_served") is not True:
         problems.append("warm cache did not serve every cell")
     return problems

@@ -450,6 +450,7 @@ def run_chaos_campaign(
     progress: Optional[Callable[[str], None]] = None,
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    backend: Optional[str] = None,
 ) -> ChaosReport:
     """Sweep every fault class x intensity x discipline; build the report.
 
@@ -463,7 +464,7 @@ def run_chaos_campaign(
 
     specs = campaign_cells(scale, seed, obs_dir=obs_dir)
     results = run_cells(
-        specs, jobs=jobs, cache=cache,
+        specs, jobs=jobs, cache=cache, backend=backend,
         progress=lambda key, status: (say(f"  {key} [{status}]")
                                       if status != "done" else None),
     )
@@ -589,6 +590,12 @@ def main(argv=None) -> int:
              "(default: serial; 0 = one per CPU)",
     )
     parser.add_argument(
+        "--backend", default=None,
+        choices=("inprocess", "work-stealing", "socket"),
+        help="cell executor backend (repro.dist; default inprocess, "
+             "or $REPRO_DIST_BACKEND)",
+    )
+    parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="content-addressed result cache location "
              "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
@@ -610,7 +617,7 @@ def main(argv=None) -> int:
     started = time.time()
     report = run_chaos_campaign(
         scale, seed=args.seed, obs_dir=args.obs_dir, progress=print,
-        jobs=args.jobs, cache=cache)
+        jobs=args.jobs, cache=cache, backend=args.backend)
     if cache is not None:
         print(f"cache: {cache.hits} hits, {cache.misses} misses "
               f"({cache.root})")

@@ -199,6 +199,12 @@ def main(argv=None) -> int:
              "(default: serial; 0 = one per CPU)",
     )
     parser.add_argument(
+        "--backend", default=None,
+        choices=("inprocess", "work-stealing", "socket"),
+        help="cell executor backend (repro.dist; default inprocess, "
+             "or $REPRO_DIST_BACKEND)",
+    )
+    parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="content-addressed result cache location "
              "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
@@ -242,7 +248,7 @@ def main(argv=None) -> int:
             print(f"  {key} [{status}]")
 
     results = run_cells(flat, jobs=args.jobs, cache=cache,
-                        progress=progress)
+                        backend=args.backend, progress=progress)
     by_group: dict[str, list] = {}
     cursor = 0
     for name, cells in groups.items():

@@ -43,6 +43,7 @@ def _replicate_cells(
     run_fn,
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    backend: Optional[str] = None,
 ) -> dict[str, list]:
     """Run ``run_fn(params_for(discipline, seed))`` for the full grid.
 
@@ -58,20 +59,20 @@ def _replicate_cells(
         for discipline in disciplines
         for seed in seeds
     ]
-    results = run_cells(specs, jobs=jobs, cache=cache)
+    results = run_cells(specs, jobs=jobs, cache=cache, backend=backend)
     grouped: dict[str, list] = {}
     for idx, discipline in enumerate(disciplines):
         grouped[discipline.name] = results[idx * len(seeds):(idx + 1) * len(seeds)]
     return grouped
 
 
-def submission_study(seeds, jobs=None, cache=None) -> list[str]:
+def submission_study(seeds, jobs=None, cache=None, backend=None) -> list[str]:
     lines = [f"scenario 1 — {SUBMIT_CLIENTS} submitters, {SUBMIT_DURATION:.0f} s:"]
     grouped = _replicate_cells(
         "submit", (FIXED, ALOHA, ETHERNET), seeds,
         lambda d, seed: SubmitParams(discipline=d, n_clients=SUBMIT_CLIENTS,
                                      duration=SUBMIT_DURATION, seed=seed),
-        run_submission, jobs=jobs, cache=cache,
+        run_submission, jobs=jobs, cache=cache, backend=backend,
     )
     summaries = {}
     for discipline in (FIXED, ALOHA, ETHERNET):
@@ -90,13 +91,13 @@ def submission_study(seeds, jobs=None, cache=None) -> list[str]:
     return lines
 
 
-def buffer_study(seeds, jobs=None, cache=None) -> list[str]:
+def buffer_study(seeds, jobs=None, cache=None, backend=None) -> list[str]:
     lines = [f"scenario 2 — {BUFFER_PRODUCERS} producers, {BUFFER_DURATION:.0f} s:"]
     grouped = _replicate_cells(
         "buffer", (FIXED, ALOHA, ETHERNET), seeds,
         lambda d, seed: BufferParams(discipline=d, n_producers=BUFFER_PRODUCERS,
                                      duration=BUFFER_DURATION, seed=seed),
-        run_buffer, jobs=jobs, cache=cache,
+        run_buffer, jobs=jobs, cache=cache, backend=backend,
     )
     summaries = {}
     for discipline in (FIXED, ALOHA, ETHERNET):
@@ -117,13 +118,13 @@ def buffer_study(seeds, jobs=None, cache=None) -> list[str]:
     return lines
 
 
-def replica_study(seeds, jobs=None, cache=None) -> list[str]:
+def replica_study(seeds, jobs=None, cache=None, backend=None) -> list[str]:
     lines = [f"scenario 3 — 3 readers, {READER_DURATION:.0f} s, one black hole:"]
     grouped = _replicate_cells(
         "replica", (ALOHA, ETHERNET), seeds,
         lambda d, seed: ReplicaParams(discipline=d, duration=READER_DURATION,
                                       seed=seed),
-        run_replica, jobs=jobs, cache=cache,
+        run_replica, jobs=jobs, cache=cache, backend=backend,
     )
     summaries = {}
     for discipline in (ALOHA, ETHERNET):
@@ -151,6 +152,12 @@ def main(argv=None) -> int:
              "(default: serial; 0 = one per CPU)",
     )
     parser.add_argument(
+        "--backend", default=None,
+        choices=("inprocess", "work-stealing", "socket"),
+        help="cell executor backend (repro.dist; default inprocess, "
+             "or $REPRO_DIST_BACKEND)",
+    )
+    parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="content-addressed result cache location "
              "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
@@ -164,7 +171,8 @@ def main(argv=None) -> int:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
 
     for study in (submission_study, buffer_study, replica_study):
-        for line in study(seeds, jobs=args.jobs, cache=cache):
+        for line in study(seeds, jobs=args.jobs, cache=cache,
+                          backend=args.backend):
             print(line)
         print()
     return 0

@@ -102,6 +102,7 @@ def run_cells(
     cache: Optional[ResultCache] = None,
     progress: Optional[Progress] = None,
     cancel: Optional[Cancel] = None,
+    backend: Optional[str] = None,
 ) -> list[Any]:
     """Execute every cell; return results in submission order.
 
@@ -109,6 +110,13 @@ def run_cells(
     aligned with ``cells`` no matter how execution interleaved, and the
     values are identical whether computed serially, in parallel, or
     served from a warm cache.
+
+    ``backend`` selects the executor: ``"inprocess"`` (default) is this
+    function's own serial/process-pool path; ``"work-stealing"`` and
+    ``"socket"`` hand the pending cells to :mod:`repro.dist`, where
+    ``jobs`` doubles as the worker-fleet size.  ``$REPRO_DIST_BACKEND``
+    applies when no explicit backend is passed.  Every backend honours
+    the same contract, scorecards included.
 
     ``cancel`` (a ``threading.Event`` or bool-returning callable) stops
     the campaign between cells: pending work is cancelled, the pool shuts
@@ -118,6 +126,13 @@ def run_cells(
     before re-raising; the service plane reuses both paths for job
     cancellation.
     """
+    from ..dist import resolve_backend, run_dist_cells
+
+    resolved = resolve_backend(backend)
+    if resolved != "inprocess":
+        return run_dist_cells(resolved, cells, jobs=jobs, cache=cache,
+                              progress=progress, cancel=cancel)
+
     say = progress if progress is not None else (lambda _key, _status: None)
     results: list[Any] = [None] * len(cells)
     pending: list[int] = []

@@ -32,6 +32,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--jobs", type=int, default=None,
                         help="processes per job (repro.parallel; "
                         "0 = one per CPU, default serial)")
+    parser.add_argument("--backend", default=None,
+                        choices=("inprocess", "work-stealing", "socket"),
+                        help="cell executor backend (repro.dist; default "
+                        "inprocess, or $REPRO_DIST_BACKEND)")
     parser.add_argument("--cache-dir", default=None,
                         help="result cache root (default: the shared "
                         "repro cache)")
@@ -67,7 +71,8 @@ def main(argv: Optional[list[str]] = None) -> int:
     cache = None if args.no_cache else ResultCache(root=args.cache_dir)
     store = JobStore(
         policy=policy, cache=cache, workers=args.workers,
-        run_jobs=args.jobs, ttl=args.ttl if args.ttl > 0 else None,
+        run_jobs=args.jobs, run_backend=args.backend,
+        ttl=args.ttl if args.ttl > 0 else None,
         obs=Observability())
     store.start()
     server = make_server(store, host=args.host, port=args.port)

@@ -16,7 +16,8 @@ Endpoints::
     GET    /jobs              all jobs (newest first)
     GET    /jobs/{id}         job status
     GET    /jobs/{id}/result  terminal result document       (409 earlier)
-    GET    /jobs/{id}/events  incremental status stream (?since=seq)
+    GET    /jobs/{id}/events  incremental status stream
+                              (?since=seq, &wait=s long-polls up to 30s)
     DELETE /jobs/{id}         cancel
     GET    /healthz           liveness + job counts
     GET    /metricsz          Prometheus text exposition
@@ -46,6 +47,9 @@ from .schemas import (
 
 JSON = "application/json"
 PROM = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Longest an events long-poll (?wait=) may hold a handler thread.
+MAX_EVENT_WAIT = 30.0
 
 
 def _dumps(doc: Any) -> bytes:
@@ -141,7 +145,10 @@ class ServiceApp:
                         self.store.result(job_id).to_jsonable())
                 if method == "GET" and parts[2:] == ["events"]:
                     since = _int_param(query, "since", 0)
-                    events = self.store.events(job_id, since=since)
+                    wait = min(_float_param(query, "wait", 0.0),
+                               MAX_EVENT_WAIT)
+                    events = self.store.events(job_id, since=since,
+                                               wait=wait)
                     return 200, JSON, _dumps({
                         "job_id": job_id,
                         "events": [event.to_jsonable() for event in events],
@@ -193,6 +200,19 @@ def _int_param(query: dict, name: str, default: int) -> int:
         return int(values[-1])
     except ValueError:
         raise SchemaError(f"query parameter {name!r} must be an integer")
+
+
+def _float_param(query: dict, name: str, default: float) -> float:
+    values = query.get(name)
+    if not values:
+        return default
+    try:
+        value = float(values[-1])
+    except ValueError:
+        raise SchemaError(f"query parameter {name!r} must be a number")
+    if value < 0:
+        raise SchemaError(f"query parameter {name!r} must be >= 0")
+    return value
 
 
 # ---------------------------------------------------------------------------

@@ -1,10 +1,14 @@
 """Sync client for the service plane, plus the submit CLI.
 
-:class:`ServiceClient` is a thin urllib wrapper (stdlib only, like the
-server) that decodes wire documents back into the :mod:`.schemas`
-dataclasses.  The CLI (``python -m repro.service.client``) drives the
-full submit → wait → fetch loop and is what CI runs against a live
-server; ``ftsh --submit URL`` reuses the same client.
+:class:`ServiceClient` is a thin stdlib HTTP wrapper (built on the
+shared :func:`repro.service.http.http_request` core) that decodes wire
+documents back into the :mod:`.schemas` dataclasses.  Idempotent GETs
+retry transient transport failures with capped exponential backoff —
+the paper's client discipline applied to our own tooling — while
+mutating requests (submit/cancel) are attempted exactly once.  The CLI
+(``python -m repro.service.client``) drives the full submit → wait →
+fetch loop and is what CI runs against a live server; ``ftsh --submit
+URL`` reuses the same client.
 
 Exit codes follow the ftsh contract: 0 the job finished and (for
 scripts) the script succeeded, 1 the job failed/was cancelled or the
@@ -17,10 +21,9 @@ import argparse
 import json
 import sys
 import time
-import urllib.error
-import urllib.request
 from typing import Any, Iterable, Optional
 
+from .http import HttpTransportError, http_request
 from .schemas import (
     CampaignSubmission,
     JobEvent,
@@ -31,6 +34,9 @@ from .schemas import (
 )
 
 DEFAULT_URL = "http://127.0.0.1:8042"
+
+#: Transport retries for idempotent (GET) requests.
+DEFAULT_GET_RETRIES = 3
 
 
 class ServiceError(Exception):
@@ -45,41 +51,49 @@ class ServiceError(Exception):
 
 
 class ServiceClient:
-    """Talks to one service endpoint; safe to share across threads."""
+    """Talks to one service endpoint; safe to share across threads.
 
-    def __init__(self, url: str = DEFAULT_URL, timeout: float = 30.0) -> None:
+    ``retries`` applies only to GETs (status, result, events, health,
+    metrics): those are idempotent, so a connection the server dropped
+    mid-restart is retried with capped exponential backoff instead of
+    surfacing as a spurious failure.  POST/DELETE are never retried —
+    resubmitting is the caller's decision.
+    """
+
+    def __init__(self, url: str = DEFAULT_URL, timeout: float = 30.0,
+                 retries: int = DEFAULT_GET_RETRIES) -> None:
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
 
     # ------------------------------------------------------------------
     def _request(self, method: str, path: str,
-                 doc: Optional[Any] = None) -> Any:
+                 doc: Optional[Any] = None,
+                 timeout: Optional[float] = None) -> Any:
         body = json.dumps(doc).encode() if doc is not None else None
-        request = urllib.request.Request(
-            self.url + path, data=body, method=method,
-            headers={"Content-Type": "application/json"} if body else {})
         try:
-            with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as response:
-                payload = response.read()
-        except urllib.error.HTTPError as exc:
-            raw = exc.read()
+            response = http_request(
+                self.url + path, method=method, body=body,
+                headers={"Content-Type": "application/json"} if body else {},
+                timeout=timeout if timeout is not None else self.timeout,
+                retries=self.retries if method == "GET" else 0)
+        except HttpTransportError as exc:
+            raise ServiceError(
+                0, "unreachable", f"{self.url}: {exc.reason}") from None
+        if response.status >= 400:
             try:
-                error = json.loads(raw.decode()).get("error") or {}
+                error = json.loads(response.body.decode()).get("error") or {}
             except (ValueError, UnicodeDecodeError):
                 error = {}
             raise ServiceError(
-                exc.code,
+                response.status,
                 str(error.get("code") or "http"),
-                str(error.get("message") or exc.reason),
+                str(error.get("message") or f"HTTP {response.status}"),
                 error.get("details") or (),
-            ) from None
-        except urllib.error.URLError as exc:
-            raise ServiceError(
-                0, "unreachable", f"{self.url}: {exc.reason}") from None
+            )
         if path == "/metricsz":
-            return payload.decode()
-        return json.loads(payload.decode())
+            return response.body.decode()
+        return json.loads(response.body.decode())
 
     # ------------------------------------------------------------------
     # Submission
@@ -130,9 +144,18 @@ class ServiceClient:
         return JobResult.from_jsonable(
             self._request("GET", f"/jobs/{job_id}/result"))
 
-    def events(self, job_id: str, since: int = 0) -> list[JobEvent]:
-        doc = self._request(
-            "GET", f"/jobs/{job_id}/events?since={int(since)}")
+    def events(self, job_id: str, since: int = 0,
+               wait: Optional[float] = None) -> list[JobEvent]:
+        """Events with ``seq > since``.  ``wait`` long-polls: the server
+        holds the request up to that many seconds for a new event, so a
+        follower sees progress without hammering the endpoint."""
+        path = f"/jobs/{job_id}/events?since={int(since)}"
+        timeout = None
+        if wait is not None:
+            path += f"&wait={float(wait):g}"
+            # Leave headroom over the server-side hold.
+            timeout = self.timeout + float(wait)
+        doc = self._request("GET", path, timeout=timeout)
         return [JobEvent.from_jsonable(event) for event in doc["events"]]
 
     def cancel(self, job_id: str) -> JobStatus:
@@ -241,6 +264,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         p.add_argument("job_id")
         if name == "events":
             p.add_argument("--since", type=int, default=0)
+            p.add_argument("--wait", type=float, default=None,
+                           metavar="SECONDS",
+                           help="long-poll: hold until a new event or "
+                                "SECONDS pass")
     p_wait = sub.add_parser("wait", help="block until a job is terminal")
     p_wait.add_argument("job_id")
     p_wait.add_argument("--wait-timeout", type=float, default=None)
@@ -295,7 +322,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             _print_doc(client.cancel(args.job_id).to_jsonable())
             return 0
         if args.command == "events":
-            for event in client.events(args.job_id, since=args.since):
+            for event in client.events(args.job_id, since=args.since,
+                                       wait=args.wait):
                 print(f"{event.seq}\t{event.ts:.3f}\t{event.state}"
                       f"\t{event.message}")
             return 0

@@ -1,0 +1,100 @@
+"""The shared urllib request core: one retry discipline, many clients.
+
+:class:`~repro.service.client.ServiceClient`, the
+:mod:`repro.dist.worker` loop, and the coordinator's artifact client
+all speak HTTP through :func:`http_request`.  It separates the two
+failure planes cleanly:
+
+* an HTTP *response* — any status, including 4xx/5xx — is returned as
+  an :class:`HttpResponse`; interpreting the status is the caller's
+  business;
+* a *transport* failure (connection refused/reset, DNS, socket timeout)
+  raises :class:`HttpTransportError` — after optional retries with
+  capped exponential backoff, Ethernet-style: the paper's argument is
+  that a client facing a shared service should assume failures are
+  transient and back off before retrying, and our own clients should
+  behave no worse than the simulated ones.
+
+Retries are opt-in (``retries=0`` by default) because they are only
+safe for idempotent requests; callers enable them for GETs and for
+worker-protocol calls that are idempotent by design.
+"""
+
+from __future__ import annotations
+
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional
+
+#: First backoff step, in seconds.
+DEFAULT_BACKOFF = 0.05
+
+#: Ceiling any single backoff sleep is capped at.
+DEFAULT_BACKOFF_CAP = 2.0
+
+
+class HttpTransportError(Exception):
+    """The request never produced an HTTP response (even after retries)."""
+
+    def __init__(self, url: str, reason: object, attempts: int = 1) -> None:
+        self.url = url
+        self.reason = reason
+        self.attempts = attempts
+        suffix = f" after {attempts} attempts" if attempts > 1 else ""
+        super().__init__(f"{url}: {reason}{suffix}")
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """A decoded-enough HTTP response: status + raw body."""
+
+    status: int
+    body: bytes
+
+
+def backoff_delay(attempt: int, base: float = DEFAULT_BACKOFF,
+                  cap: float = DEFAULT_BACKOFF_CAP) -> float:
+    """Exponential backoff for retry ``attempt`` (0-based), capped."""
+    return min(base * (2 ** attempt), cap)
+
+
+def http_request(
+    url: str,
+    method: str = "GET",
+    body: Optional[bytes] = None,
+    headers: Optional[Mapping[str, str]] = None,
+    timeout: float = 30.0,
+    retries: int = 0,
+    backoff: float = DEFAULT_BACKOFF,
+    backoff_cap: float = DEFAULT_BACKOFF_CAP,
+    sleep: Callable[[float], None] = time.sleep,
+) -> HttpResponse:
+    """One HTTP exchange; retries transient transport failures.
+
+    Every attempt builds a fresh socket, so a connection the server
+    reset mid-handshake (restart, accept-queue overflow) is simply tried
+    again ``retries`` more times, sleeping ``backoff * 2^n`` (capped)
+    between attempts.  HTTP error statuses are *returned*, never
+    retried — a 500 is an answer, not an outage.
+    """
+    attempt = 0
+    while True:
+        request = urllib.request.Request(
+            url, data=body, method=method, headers=dict(headers or {}))
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return HttpResponse(response.status, response.read())
+        except urllib.error.HTTPError as exc:
+            payload = exc.read()
+            exc.close()
+            return HttpResponse(exc.code, payload)
+        except (urllib.error.URLError, ConnectionError, TimeoutError,
+                OSError) as exc:
+            reason = getattr(exc, "reason", exc)
+            if attempt >= retries:
+                raise HttpTransportError(
+                    url, reason, attempts=attempt + 1) from None
+            sleep(backoff_delay(attempt, backoff, backoff_cap))
+            attempt += 1

@@ -120,6 +120,7 @@ class JobStore:
         cache: Optional[ResultCache] = None,
         workers: int = 2,
         run_jobs: Optional[int] = None,
+        run_backend: Optional[str] = None,
         ttl: Optional[float] = 3600.0,
         clock: Callable[[], float] = time.time,
         obs: Any = None,
@@ -131,12 +132,15 @@ class JobStore:
         self.policy = policy if policy is not None else SandboxPolicy()
         self.cache = cache
         self.run_jobs = run_jobs
+        self.run_backend = run_backend
         self.ttl = ttl
         self.clock = clock
         self.obs = coalesce(obs)
         self._workers = workers
         self._records: dict[str, JobRecord] = {}
         self._lock = threading.Lock()
+        # Event appends notify long-poll waiters (events(wait=...)).
+        self._wakeup = threading.Condition(self._lock)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._pool: Optional[ThreadPoolExecutor] = None
@@ -310,11 +314,28 @@ class JobStore:
                 result=record.result,
             )
 
-    def events(self, job_id: str, since: int = 0) -> list[JobEvent]:
-        """Status events with ``seq > since`` (the incremental stream)."""
+    def events(self, job_id: str, since: int = 0,
+               wait: float = 0.0) -> list[JobEvent]:
+        """Status events with ``seq > since`` (the incremental stream).
+
+        ``wait > 0`` long-polls: when nothing is newer than ``since``,
+        the call blocks until an event lands (any job's append wakes the
+        waiters; the filter re-checks this job) or ``wait`` seconds pass,
+        then returns whatever there is — possibly nothing.  Followers
+        get sub-poll-interval latency without busy-polling the store.
+        """
+        deadline = time.monotonic() + wait if wait > 0 else None
         with self._lock:
             record = self._get(job_id)
-            return [event for event in record.events if event.seq > since]
+            while True:
+                fresh = [event for event in record.events
+                         if event.seq > since]
+                if fresh or deadline is None:
+                    return fresh
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._wakeup.wait(remaining):
+                    return [event for event in record.events
+                            if event.seq > since]
 
     def jobs(self) -> list[JobStatus]:
         with self._lock:
@@ -369,6 +390,7 @@ class JobStore:
             state=state,
             message=message,
         ))
+        self._wakeup.notify_all()
 
     async def _worker(self) -> None:
         while True:
@@ -445,6 +467,7 @@ class JobStore:
             cache=self.cache,
             progress=progress,
             cancel=record.cancel,
+            backend=self.run_backend,
         )
         cache_hit = self.cache is not None and computed == 0
         if isinstance(record.submission, ScriptSubmission):

@@ -1,0 +1,69 @@
+"""The shared artifact store: cache-backed, in-memory, and over HTTP."""
+
+import pickle
+
+from repro.dist.coordinator import CoordinatorServer
+from repro.dist.queue import TaskQueue
+from repro.dist.store import (
+    ArtifactStore,
+    HttpArtifactStore,
+    MemoryArtifactStore,
+)
+from repro.parallel.cache import ResultCache
+from repro.parallel.executor import CellSpec
+
+
+def square(x):
+    return x * x
+
+
+class TestArtifactStore:
+    def test_publish_then_fetch(self, tmp_path):
+        store = ArtifactStore(ResultCache(str(tmp_path)))
+        spec = CellSpec(key="t/sq/3", fn=square, args=(3,))
+        key = store.key_for(spec)
+        assert store.fetch(key) == (False, None)
+        store.publish(key, 9)
+        assert store.fetch(key) == (True, 9)
+        assert store.stats() == {"fetched": 1, "published": 1}
+
+    def test_keys_match_the_result_cache(self, tmp_path):
+        """A worker's publish is a later run_cells' warm hit."""
+        cache = ResultCache(str(tmp_path))
+        store = ArtifactStore(cache)
+        spec = CellSpec(key="t/sq/4", fn=square, args=(4,))
+        store.publish(store.key_for(spec), 16)
+        hit, value = cache.get(cache.key_for(square, (4,), {}))
+        assert (hit, value) == (True, 16)
+
+    def test_bytes_views_roundtrip(self, tmp_path):
+        store = ArtifactStore(ResultCache(str(tmp_path)))
+        store.publish_bytes("k", pickle.dumps({"a": 1}))
+        assert pickle.loads(store.fetch_bytes("k")) == {"a": 1}
+        assert store.fetch_bytes("missing") is None
+
+
+class TestMemoryArtifactStore:
+    def test_publish_then_fetch(self):
+        store = MemoryArtifactStore()
+        store.publish("k", [1, 2])
+        assert store.fetch("k") == (True, [1, 2])
+        assert store.fetch("other") == (False, None)
+
+
+class TestHttpArtifactStore:
+    def test_roundtrip_through_a_live_coordinator(self, tmp_path):
+        backing = ArtifactStore(ResultCache(str(tmp_path)))
+        with CoordinatorServer(TaskQueue(), backing) as url:
+            client = HttpArtifactStore(url)
+            assert client.fetch("k") == (False, None)
+            client.publish("k", {"answer": 42})
+            assert client.fetch("k") == (True, {"answer": 42})
+        # The publish really landed in the backing cache.
+        assert backing.fetch("k") == (True, {"answer": 42})
+
+    def test_unreachable_coordinator_degrades_to_miss(self):
+        client = HttpArtifactStore("http://127.0.0.1:9", timeout=0.2)
+        assert client.fetch("k") == (False, None)
+        client.publish("k", 1)  # no-op, no raise
+        assert client.stats() == {"fetched": 0, "published": 0}

@@ -1,0 +1,63 @@
+"""Wire encoding: cells and blobs across the coordinator/worker link."""
+
+import pytest
+
+from repro.dist.wire import (
+    WireError,
+    decode_blob,
+    decode_cell,
+    encode_blob,
+    encode_cell,
+    fn_name,
+    resolve_fn,
+)
+from repro.parallel.executor import CellSpec
+
+
+def square(x):
+    return x * x
+
+
+class TestBlobs:
+    def test_roundtrip_arbitrary_values(self):
+        for value in (41, "text", [1, {"a": (2, 3)}], None):
+            assert decode_blob(encode_blob(value)) == value
+
+    def test_undecodable_blob_is_a_wire_error(self):
+        with pytest.raises(WireError):
+            decode_blob("not base64 pickle!!")
+
+
+class TestFnResolution:
+    def test_name_roundtrip(self):
+        name = fn_name(square)
+        assert name == "tests.dist.test_wire:square"
+        assert resolve_fn(name) is square
+
+    def test_missing_attribute_rejected(self):
+        with pytest.raises(WireError):
+            resolve_fn("tests.dist.test_wire:nope")
+
+    def test_bad_module_rejected(self):
+        with pytest.raises(WireError):
+            resolve_fn("no.such.module:thing")
+
+    def test_not_callable_rejected(self):
+        with pytest.raises(WireError):
+            resolve_fn("tests.dist.test_wire:__doc__")
+
+
+class TestCells:
+    def test_cell_roundtrip(self):
+        spec = CellSpec(key="t/sq/3", fn=square, args=(3,),
+                        kwargs={}, cacheable=False)
+        rebuilt = decode_cell(encode_cell(spec))
+        assert rebuilt.key == "t/sq/3"
+        assert rebuilt.fn is square
+        assert rebuilt.args == (3,)
+        assert rebuilt.cacheable is False
+        assert rebuilt.fn(*rebuilt.args) == 9
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(WireError):
+            decode_cell({"key": "x"})

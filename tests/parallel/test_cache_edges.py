@@ -1,0 +1,139 @@
+"""Cache edge cases the dist subsystem leans on: a shared store being
+trimmed, corrupted, or emptied must degrade to misses, never errors."""
+
+import threading
+
+from repro.parallel.cache import ResultCache, main as cache_main
+from repro.parallel.executor import CellSpec, run_cells
+
+
+def square(x):
+    return x * x
+
+
+def fill(cache, count, size=2048):
+    keys = []
+    for index in range(count):
+        key = cache.key_for(square, (index,), {})
+        cache.put(key, "x" * size)
+        keys.append(key)
+    return keys
+
+
+class TestTrimUnderConcurrency:
+    def test_publishes_racing_a_trim_never_error(self, tmp_path):
+        """An operator trims the store while workers keep publishing.
+
+        Eviction and publish touch the same shard directories; both
+        sides must survive the race, and every key must read back as
+        either a clean hit or a clean miss — nothing in between.
+        """
+        cache = ResultCache(str(tmp_path))
+        fill(cache, 40)
+        stop = threading.Event()
+        failures = []
+
+        def publisher(offset):
+            index = 0
+            while not stop.is_set():
+                key = cache.key_for(square, (offset + index,), {})
+                try:
+                    cache.put(key, "y" * 1024)
+                    cache.get(key)
+                except Exception as exc:  # noqa: BLE001 - the assertion
+                    failures.append(exc)
+                    return
+                index += 1
+
+        threads = [threading.Thread(target=publisher, args=(1000 * n,))
+                   for n in (1, 2)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(25):
+                cache.trim(8 * 1024)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+        assert failures == []
+        assert cache.disk_stats()["entries"] >= 0  # store still readable
+
+    def test_evicted_key_is_a_clean_miss_for_run_cells(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cells = [CellSpec(key="t/sq/5", fn=square, args=(5,))]
+        run_cells(cells, cache=cache)
+        cache.trim(0)
+        statuses = []
+        assert run_cells(cells, cache=cache,
+                         progress=lambda _k, s: statuses.append(s)) == [25]
+        assert statuses == ["run", "done"]  # recomputed, no complaint
+
+
+class TestCorruptEntries:
+    def test_truncated_pickle_reads_as_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = cache.key_for(square, (3,), {})
+        cache.put(key, 9)
+        path = cache._path(key)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])  # torn write, simulated
+        assert cache.get(key) == (False, None)
+        assert cache.stats()["misses"] == 1
+
+    def test_garbage_bytes_read_as_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = cache.key_for(square, (4,), {})
+        cache.put(key, 16)
+        with open(cache._path(key), "wb") as handle:
+            handle.write(b"not a pickle at all")
+        assert cache.get(key) == (False, None)
+
+    def test_unresolvable_class_reads_as_miss(self, tmp_path):
+        """An artifact pickled against code we no longer have."""
+        cache = ResultCache(str(tmp_path))
+        key = cache.key_for(square, (5,), {})
+        cache.put(key, 25)
+        # Protocol-0 GLOBAL opcode naming a module that does not exist.
+        with open(cache._path(key), "wb") as handle:
+            handle.write(b"cno.where\nGhostResult\n.")
+        assert cache.get(key) == (False, None)
+
+    def test_corrupt_entry_recomputed_and_healed(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cells = [CellSpec(key="t/sq/6", fn=square, args=(6,))]
+        run_cells(cells, cache=cache)
+        key = cache.key_for(square, (6,), {})
+        with open(cache._path(key), "wb") as handle:
+            handle.write(b"\x00garbage")
+        assert run_cells(cells, cache=cache) == [36]
+        assert cache.get(key) == (True, 36)  # the rerun re-published
+
+
+class TestMaxBytesZero:
+    def test_trim_zero_empties_the_store(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        keys = fill(cache, 5)
+        evicted = cache.trim(0)
+        assert sorted(evicted) == sorted(keys)
+        assert cache.disk_stats() == {
+            "root": str(tmp_path), "entries": 0, "bytes": 0,
+            "oldest": None, "newest": None}
+
+    def test_cli_max_bytes_zero(self, tmp_path, capsys):
+        cache = ResultCache(str(tmp_path))
+        fill(cache, 3)
+        code = cache_main(["--dir", str(tmp_path), "--max-bytes", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert cache.disk_stats()["entries"] == 0
+        assert "evicted" in out.lower() or "3" in out
+
+    def test_cli_negative_max_bytes_rejected(self, tmp_path, capsys):
+        try:
+            cache_main(["--dir", str(tmp_path), "--max-bytes", "-1"])
+        except SystemExit as exc:
+            assert exc.code != 0
+        else:
+            raise AssertionError("negative --max-bytes accepted")

@@ -1,0 +1,170 @@
+"""The shared HTTP core: retry discipline, backoff shape, long-poll."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import Observability
+from repro.parallel.cache import ResultCache
+from repro.service.app import MAX_EVENT_WAIT, ServiceApp, make_server
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.http import (
+    DEFAULT_BACKOFF,
+    DEFAULT_BACKOFF_CAP,
+    HttpTransportError,
+    backoff_delay,
+    http_request,
+)
+from repro.service.jobs import JobStore
+from repro.service.sandbox import SandboxPolicy
+from repro.service.schemas import TERMINAL, ScriptSubmission
+
+GOOD = 'try for 5 minutes\n    condor_submit submit.job\nend\n'
+
+
+def wait_terminal(store, job_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = store.status(job_id)
+        if status.state in TERMINAL:
+            return status
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} not terminal after {timeout}s")
+
+
+class TestBackoffDelay:
+    def test_doubles_from_base(self):
+        assert [backoff_delay(n, base=0.1, cap=10.0) for n in range(4)] \
+            == [0.1, 0.2, 0.4, 0.8]
+
+    def test_cap_is_a_ceiling(self):
+        assert backoff_delay(30) == DEFAULT_BACKOFF_CAP
+        assert backoff_delay(0) == DEFAULT_BACKOFF
+
+
+class TestHttpRequestRetries:
+    """Transport failures retry with backoff; HTTP statuses never do."""
+
+    def test_retries_until_exhausted_with_backoff(self):
+        sleeps = []
+        with pytest.raises(HttpTransportError) as exc:
+            http_request("http://127.0.0.1:9/x", timeout=0.2, retries=3,
+                         sleep=sleeps.append)
+        assert exc.value.attempts == 4
+        assert sleeps == [backoff_delay(n) for n in range(3)]
+
+    def test_no_retries_by_default(self):
+        sleeps = []
+        with pytest.raises(HttpTransportError) as exc:
+            http_request("http://127.0.0.1:9/x", timeout=0.2,
+                         sleep=sleeps.append)
+        assert (exc.value.attempts, sleeps) == (1, [])
+
+    def test_http_error_statuses_are_returned_not_retried(self, service):
+        url, _ = service
+        sleeps = []
+        response = http_request(f"{url}/no/such/route", retries=3,
+                                sleep=sleeps.append)
+        assert response.status == 404
+        assert sleeps == []  # a 404 is an answer, not an outage
+
+
+@pytest.fixture
+def service(tmp_path):
+    cache = ResultCache(root=str(tmp_path / "cache"))
+    with JobStore(policy=SandboxPolicy(wall_budget=60.0), cache=cache,
+                  workers=2, obs=Observability()) as store:
+        server = make_server(store, port=0)
+        host, port = server.server_address[:2]
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        try:
+            yield f"http://{host}:{port}", store
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestClientRetries:
+    def test_only_gets_ride_the_retry_loop(self, service, monkeypatch):
+        url, _ = service
+        client = ServiceClient(url=url, retries=2)
+        real, calls = http_request, []
+
+        def spying(request_url, **kwargs):
+            calls.append(kwargs.get("retries", 0))
+            return real(request_url, **kwargs)
+
+        monkeypatch.setattr("repro.service.client.http_request", spying)
+        client.healthz()
+        client.submit_script(GOOD)
+        assert calls == [2, 0], "GET retries; POST must not"
+
+    def test_unreachable_is_service_error_status_zero(self):
+        client = ServiceClient(url="http://127.0.0.1:9", timeout=0.3,
+                               retries=1)
+        with pytest.raises(ServiceError) as exc:
+            client.healthz()
+        assert exc.value.status == 0
+
+
+class TestEventsLongPoll:
+    def test_wait_returns_early_when_an_event_lands(self, service):
+        url, store = service
+        client = ServiceClient(url=url)
+        status = client.submit_script(GOOD)
+        client.wait(status.job_id, timeout=30.0)
+        events = client.events(status.job_id)
+        last = events[-1].seq
+        # Everything already happened: a long poll past the end must
+        # time out empty, not hang for the full window.
+        started = time.monotonic()
+        assert client.events(status.job_id, since=last, wait=0.3) == []
+        assert time.monotonic() - started < 5.0
+
+    def test_waiter_wakes_when_an_event_lands(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path / "cache"))
+        with JobStore(policy=SandboxPolicy(wall_budget=60.0), cache=cache,
+                      workers=1, obs=Observability()) as store:
+            job = store.submit(ScriptSubmission(script=GOOD,
+                                                timeout=600.0))
+            wait_terminal(store, job.job_id)
+            last = store.events(job.job_id)[-1].seq
+            woke = []
+
+            def follower():
+                woke.extend(store.events(job.job_id, since=last,
+                                         wait=30.0))
+
+            thread = threading.Thread(target=follower)
+            thread.start()
+            time.sleep(0.1)
+            # Resubmitting the same script re-queues the same job id,
+            # which appends the event the follower is blocked on.
+            resubmitted = store.submit(
+                ScriptSubmission(script=GOOD, timeout=600.0))
+            assert resubmitted.job_id == job.job_id
+            thread.join(timeout=5.0)
+            assert not thread.is_alive(), "long-poll never woke"
+            assert woke and woke[0].seq > last
+
+    def test_wait_param_validated_and_capped(self, service):
+        url, store = service
+        client = ServiceClient(url=url)
+        status = client.submit_script(GOOD)
+        app = ServiceApp(store)
+        code, _, body = app.handle(
+            "GET", f"/jobs/{status.job_id}/events?wait=banana")
+        assert code == 400
+        assert json.loads(body)["error"]["code"] == "schema"
+        code, _, _ = app.handle(
+            "GET", f"/jobs/{status.job_id}/events?wait=-1")
+        assert code == 400
+        # An absurd wait is clamped to MAX_EVENT_WAIT, not honored.
+        started = time.monotonic()
+        code, _, _ = app.handle(
+            "GET",
+            f"/jobs/{status.job_id}/events?since=10000&wait=0.2")
+        assert code == 200
+        assert time.monotonic() - started < MAX_EVENT_WAIT
