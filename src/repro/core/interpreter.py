@@ -48,6 +48,7 @@ from .errors import (
     FtshTimeout,
 )
 from ..obs.api import NULL_OBS
+from ..obs.metrics import NULL_METRICS
 from ..obs.spans import Span
 from .expressions import evaluate as evaluate_expr
 from .shell_log import EventKind, ShellLog
@@ -62,6 +63,63 @@ ZERO_PROGRESS_QUANTUM = 0.001
 
 #: Guard against runaway recursive ftsh functions.
 MAX_FUNCTION_DEPTH = 64
+
+
+class _Instruments:
+    """The interpreter's metric instruments against one registry.
+
+    Creating these used to happen in every ``Interpreter.__init__`` — ten
+    registry calls (name dedupe, label tuples) per forall branch and per
+    campaign cell.  They are now built once per registry and cached on it.
+    """
+
+    __slots__ = (
+        "scripts", "commands", "command_seconds", "attempts", "backoffs",
+        "backoff_seconds", "exhausted", "catches", "forany_picks",
+        "forall_branches",
+    )
+
+    def __init__(self, metrics: Any) -> None:
+        self.scripts = metrics.counter(
+            "ftsh_scripts_total", "scripts finished", labels=("result",))
+        self.commands = metrics.counter(
+            "ftsh_commands_total", "commands run", labels=("command", "outcome"))
+        self.command_seconds = metrics.histogram(
+            "ftsh_command_seconds", "command wall/virtual time",
+            labels=("command",))
+        self.attempts = metrics.counter(
+            "ftsh_try_attempts_total", "try-block attempts started")
+        self.backoffs = metrics.counter(
+            "ftsh_backoff_initiations_total",
+            "backoff sleeps begun (the administrator overload signal)")
+        self.backoff_seconds = metrics.histogram(
+            "ftsh_backoff_seconds", "backoff delay chosen by the policy")
+        self.exhausted = metrics.counter(
+            "ftsh_try_exhausted_total", "try blocks that ran out of budget")
+        self.catches = metrics.counter(
+            "ftsh_catch_entered_total", "catch blocks entered")
+        self.forany_picks = metrics.counter(
+            "ftsh_forany_picks_total", "forany alternatives attempted")
+        self.forall_branches = metrics.counter(
+            "ftsh_forall_branches_total", "forall branches spawned")
+
+
+#: Shared no-op bundle for every disabled registry (NullMetrics has
+#: ``__slots__ = ()``, so nothing can be cached on it).
+_NULL_INSTRUMENTS = _Instruments(NULL_METRICS)
+
+
+def _instruments_for(metrics: Any) -> _Instruments:
+    """The per-registry instrument bundle, created on first use."""
+    if not getattr(metrics, "enabled", True):
+        return _NULL_INSTRUMENTS
+    cached = getattr(metrics, "_ftsh_instruments", None)
+    if cached is None:
+        # A concurrent builder would produce an identical bundle (the
+        # registry dedupes families by name), so last-write-wins is fine.
+        cached = _Instruments(metrics)
+        metrics._ftsh_instruments = cached
+    return cached
 
 
 class Interpreter:
@@ -90,36 +148,35 @@ class Interpreter:
         #: The span new spans nest under (a forall branch starts under
         #: its branch span; a top-level script starts at the root).
         self._span: Optional[Span] = span_parent
-        metrics = obs.metrics
-        self._m_scripts = metrics.counter(
-            "ftsh_scripts_total", "scripts finished", labels=("result",))
-        self._m_commands = metrics.counter(
-            "ftsh_commands_total", "commands run", labels=("command", "outcome"))
-        self._m_command_seconds = metrics.histogram(
-            "ftsh_command_seconds", "command wall/virtual time",
-            labels=("command",))
-        self._m_attempts = metrics.counter(
-            "ftsh_try_attempts_total", "try-block attempts started")
-        self._m_backoffs = metrics.counter(
-            "ftsh_backoff_initiations_total",
-            "backoff sleeps begun (the administrator overload signal)")
-        self._m_backoff_seconds = metrics.histogram(
-            "ftsh_backoff_seconds", "backoff delay chosen by the policy")
-        self._m_exhausted = metrics.counter(
-            "ftsh_try_exhausted_total", "try blocks that ran out of budget")
-        self._m_catches = metrics.counter(
-            "ftsh_catch_entered_total", "catch blocks entered")
-        self._m_forany_picks = metrics.counter(
-            "ftsh_forany_picks_total", "forany alternatives attempted")
-        self._m_forall_branches = metrics.counter(
-            "ftsh_forall_branches_total", "forall branches spawned")
+        #: Fast guard the compiled plans use to skip span-name and label
+        #: construction entirely when telemetry is disabled.
+        self._obs_on = bool(getattr(obs, "enabled", True))
+        instruments = _instruments_for(obs.metrics)
+        self._m_scripts = instruments.scripts
+        self._m_commands = instruments.commands
+        self._m_command_seconds = instruments.command_seconds
+        self._m_attempts = instruments.attempts
+        self._m_backoffs = instruments.backoffs
+        self._m_backoff_seconds = instruments.backoff_seconds
+        self._m_exhausted = instruments.exhausted
+        self._m_catches = instruments.catches
+        self._m_forany_picks = instruments.forany_picks
+        self._m_forall_branches = instruments.forall_branches
 
     # ------------------------------------------------------------------
     # Entry points
     # ------------------------------------------------------------------
-    def execute(self, script: ast.Script, overall_deadline: float = UNBOUNDED) -> EvalGen:
-        """Evaluate a whole script, optionally under a global deadline."""
-        return self._execute_top(script.body, overall_deadline)
+    def execute(self, script: Any, overall_deadline: float = UNBOUNDED) -> EvalGen:
+        """Evaluate a whole script, optionally under a global deadline.
+
+        ``script`` is either a parsed :class:`~repro.core.ast_nodes.Script`
+        (tree-walked) or a compiled
+        :class:`~repro.core.compile.ScriptPlan` (plan-dispatched); both
+        speak the same effect protocol with identical semantics.
+        """
+        if isinstance(script, ast.Script):
+            return self._execute_top(script.body, overall_deadline)
+        return script.execute(self, overall_deadline)
 
     def _execute_top(self, body: ast.Group, overall_deadline: float) -> EvalGen:
         self.deadlines.push(overall_deadline)

@@ -26,7 +26,12 @@ from dataclasses import dataclass
 
 from ..clients.base import ALL_DISCIPLINES, ALOHA, ETHERNET, by_name
 from ..obs.api import Observability
-from ..obs.exporters import merge_obs_bundles, write_obs_bundle
+from ..obs.exporters import (
+    chrome_trace_json,
+    merge_obs_bundles,
+    prometheus_text,
+    spans_jsonl,
+)
 from ..obs.report import render_report
 from ..parallel.cache import ResultCache
 from ..parallel.executor import CellSpec, run_cells
@@ -90,13 +95,17 @@ SCALES = {
 }
 
 
-def _observability_cell(obs_dir: str, discipline_name: str, n_clients: int,
-                        duration: float, seed: int) -> list[str]:
+def _observability_cell(discipline_name: str, n_clients: int,
+                        duration: float, seed: int) -> dict[str, str]:
     """One fully-instrumented exemplar submission run (worker-safe).
 
-    The telemetry is exported to files *inside* the cell — a live
-    Observability cannot cross a process boundary — and the parent
-    merges the per-cell bundles afterwards.
+    The telemetry is rendered to text *inside* the cell — a live
+    Observability cannot cross a process boundary — and returned as a
+    ``{filename: contents}`` bundle.  Returning contents instead of
+    writing files is what closes the socket-backend gap: the bundle
+    rides the queue/artifact store back to the coordinator like any
+    other cell result, so a worker that does not share a filesystem
+    with ``--obs-dir`` still contributes its telemetry.
     """
     discipline = by_name(discipline_name)
     obs = Observability(const_labels=discipline.labels(scenario="submit"))
@@ -109,14 +118,15 @@ def _observability_cell(obs_dir: str, discipline_name: str, n_clients: int,
     )
     run_submission(params)
     stem = f"submit_{discipline.name}"
-    paths = write_obs_bundle(obs, obs_dir, stem)
-    report_path = os.path.join(obs_dir, f"{stem}.report.txt")
-    with open(report_path, "w", encoding="utf-8") as handle:
-        handle.write(
-            render_report(tracer=obs.tracer, registry=obs.metrics) + "\n"
-        )
-    paths.append(report_path)
-    return paths
+    trace = chrome_trace_json(obs.tracer) + "\n"
+    spans = spans_jsonl(obs.tracer)
+    return {
+        f"{stem}.trace.json": trace,
+        f"{stem}.spans.jsonl": spans + ("\n" if spans else ""),
+        f"{stem}.prom": prometheus_text(obs.metrics),
+        f"{stem}.report.txt":
+            render_report(tracer=obs.tracer, registry=obs.metrics) + "\n",
+    }
 
 
 def write_observability(
@@ -125,29 +135,36 @@ def write_observability(
     duration: float,
     seed: int = 2003,
     jobs: int | None = None,
+    backend: str | None = None,
 ) -> list[str]:
     """Fully-instrumented exemplar runs, one per discipline.
 
     Each discipline gets a Figure-1-style submission run with a live
     :class:`~repro.obs.Observability` attached (const-labeled with the
     discipline and scenario), exported as a Chrome trace, a spans JSONL,
-    a Prometheus text file, and a telemetry report.  Per-discipline
-    bundles are then merged into one ``combined.*`` bundle — this is
-    what keeps worker-process telemetry visible when the runs execute
-    in a pool.  Returns the paths written.
+    a Prometheus text file, and a telemetry report.  Cells return their
+    bundles as text (shipped back through whichever ``backend`` ran
+    them, including socket workers on another filesystem); the parent
+    writes them under ``obs_dir`` and merges them into one
+    ``combined.*`` bundle.  Returns the paths written.
     """
     os.makedirs(obs_dir, exist_ok=True)
     cells = [
         CellSpec(
             key=f"obs/{discipline.name}",
             fn=_observability_cell,
-            args=(obs_dir, discipline.name, n_clients, duration, seed),
+            args=(discipline.name, n_clients, duration, seed),
             cacheable=False,
         )
         for discipline in ALL_DISCIPLINES
     ]
-    paths = [path for cell_paths in run_cells(cells, jobs=jobs)
-             for path in cell_paths]
+    paths = []
+    for bundle in run_cells(cells, jobs=jobs, backend=backend):
+        for filename, contents in sorted(bundle.items()):
+            path = os.path.join(obs_dir, filename)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(contents)
+            paths.append(path)
     paths.extend(merge_obs_bundles(obs_dir))
     return paths
 
@@ -356,6 +373,7 @@ def main(argv=None) -> int:
             duration=scale.fig1_duration,
             seed=args.seed,
             jobs=args.jobs,
+            backend=args.backend,
         ):
             print(f"  wrote {path}")
         summary.append(f"telemetry: {args.obs_dir}")

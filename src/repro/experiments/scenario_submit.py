@@ -15,6 +15,7 @@ from typing import Any
 
 from ..clients.base import Discipline
 from ..clients.scripts import submit_script
+from ..core.compile import compilation_enabled, compile_cached
 from ..core.parser import parse_cached
 from ..core.shell_log import ShellLog
 from ..faults.injectors import FaultSpec, install_faults
@@ -104,6 +105,9 @@ def run_submission(params: SubmitParams) -> SubmitResult:
             carrier_threshold=params.carrier_threshold,
         )
     )
+    if compilation_enabled():
+        # One compiled plan shared by every client's every run.
+        script = compile_cached(script)
 
     fd_series = TimeSeries("available-fds")
     sample(

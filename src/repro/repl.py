@@ -23,10 +23,11 @@ has its ``end``.
 from __future__ import annotations
 
 import sys
-from typing import IO, Optional
+from typing import IO, Any, Optional
 
 from .core.analysis import analyze
 from .core.backoff import BackoffPolicy, PAPER_POLICY
+from .core.compile import compilation_enabled, compile_script
 from .core.errors import FtshSyntaxError
 from .core.interpreter import Interpreter
 from .core.parser import parse
@@ -51,6 +52,7 @@ class Repl:
         stdout: Optional[IO[str]] = None,
         prompt: bool = True,
         lint: bool = True,
+        compile: Optional[bool] = None,
     ) -> None:
         self.driver = driver or RealDriver()
         self.policy = policy
@@ -58,6 +60,9 @@ class Repl:
         self.stdout = stdout or sys.stdout
         self.prompt = prompt
         self.lint = lint
+        #: One dispatch mode for the whole session: the shared function
+        #: table holds FunctionPlans when compiling, AST nodes when not.
+        self.compile = compilation_enabled(compile)
         self.scope = Scope()
         self.functions: dict = {}
         self.log = ShellLog(clock=self.driver.now)
@@ -99,13 +104,14 @@ class Repl:
             return False
         if self.lint:
             self._lint_entry(script, text)
+        target: Any = compile_script(script) if self.compile else script
         interpreter = Interpreter(
             scope=self.scope,
             policy=self.policy,
             log=self.log,
             functions=self.functions,
         )
-        outcome = self.driver.run(interpreter.execute(script, UNBOUNDED))
+        outcome = self.driver.run(interpreter.execute(target, UNBOUNDED))
         if outcome is None:
             self._emit("ok")
             return True

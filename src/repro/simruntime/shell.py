@@ -17,6 +17,7 @@ from typing import Any, Mapping, Optional
 
 from ..core.ast_nodes import Script
 from ..core.backoff import BackoffPolicy, PAPER_POLICY
+from ..core.compile import compilation_enabled, compile_cached
 from ..core.errors import FtshCancelled, FtshFailure, FtshTimeout
 from ..core.interpreter import Interpreter
 from ..core.parser import parse_cached
@@ -45,6 +46,7 @@ class SimFtsh:
         log: Optional[ShellLog] = None,
         max_parallel: Optional[int] = None,
         obs: Any = None,
+        compile: Optional[bool] = None,
     ) -> None:
         self.engine = engine
         self.driver = SimDriver(engine, registry, world=world, rng=rng,
@@ -57,6 +59,8 @@ class SimFtsh:
         #: Telemetry context, stamped with the engine's virtual clock.
         self.obs = obs if obs is not None else NULL_OBS
         self.obs.set_clock(lambda: engine.now)
+        #: Compiled-plan dispatch (None: honour ``$REPRO_NO_COMPILE``).
+        self.compile = compilation_enabled(compile)
 
     # ------------------------------------------------------------------
     def spawn(
@@ -72,11 +76,14 @@ class SimFtsh:
         """
         if isinstance(script, str):
             script = parse_cached(script)
+        target: Any = script
+        if self.compile and isinstance(script, Script):
+            target = compile_cached(script)
         scope = Scope(dict(variables or {}))
         interpreter = Interpreter(scope=scope, policy=self.policy, log=self.log,
                                   obs=self.obs)
         deadline = UNBOUNDED if timeout is None else self.engine.now + timeout
-        generator = interpreter.execute(script, overall_deadline=deadline)
+        generator = interpreter.execute(target, overall_deadline=deadline)
         return self.engine.process(
             self._wrap(generator, scope), name=f"{self.name}:script"
         )

@@ -57,6 +57,22 @@ class TestWriteObservability:
         # One Chrome pid per source bundle keeps the cells separate.
         assert len({e["pid"] for e in events}) == 3
 
+    @pytest.mark.slow
+    def test_socket_backend_ships_bundles_through_the_store(self, tmp_path):
+        """The ROADMAP gap: socket workers do not (conceptually) share a
+        filesystem with --obs-dir, so bundles must travel back as cell
+        results through the queue/artifact store and be written by the
+        parent."""
+        obs_dir = str(tmp_path / "obs")
+        write_observability(obs_dir, n_clients=3, duration=2.0, jobs=2,
+                            backend="socket")
+        names = sorted(os.listdir(obs_dir))
+        for discipline in ("aloha", "ethernet", "fixed"):
+            assert f"submit_{discipline}.spans.jsonl" in names
+        combined = open(os.path.join(obs_dir, "combined.prom")).read()
+        for discipline in ("aloha", "ethernet", "fixed"):
+            assert f'discipline="{discipline}"' in combined
+
     def test_exports_are_valid_and_labeled(self, tmp_path):
         obs_dir = str(tmp_path / "obs")
         write_observability(obs_dir, n_clients=3, duration=2.0)

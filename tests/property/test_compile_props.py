@@ -1,0 +1,92 @@
+"""Property: compiled plans are observationally identical to the
+tree-walk for arbitrary nested try/forany/forall scripts.
+
+Hypothesis builds random scripts from the constructs the compiler
+rewrites most aggressively — retry loops (fused when the body is a
+single command), fan-out loops, functions, assignments — plus a random
+per-command failure pattern, and asserts both modes emit the same
+ShellLog event stream, reach the same outcome, and leave the same
+variable bindings.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.core.test_compile import assert_equivalent
+
+#: Commands the generated scripts may invoke; the failure pattern maps
+#: each to how many invocations fail before the first success.
+COMMANDS = ("alpha", "bravo", "charlie", "delta")
+
+
+def _leaf(draw, depth):
+    choice = draw(st.integers(min_value=0, max_value=3))
+    name = draw(st.sampled_from(COMMANDS))
+    if choice == 0:
+        return f"{name} ${{v0}} -> cap{depth}"
+    if choice == 1:
+        return f"v{depth + 1}={name}-value"
+    if choice == 2:
+        return f"{name} literal arg"
+    return "success"
+
+
+def _block(draw, depth, max_depth):
+    # Indentation is cosmetic in ftsh; nesting is try/.../end keywords.
+    kind = draw(st.integers(min_value=0, max_value=3))
+    inner = _statements(draw, depth + 1, max_depth)
+    if kind == 0:
+        attempts = draw(st.integers(min_value=1, max_value=4))
+        lines = [f"try {attempts} times every 1 second", inner]
+        if draw(st.booleans()):
+            lines += ["catch", "cleanup_cmd"]
+        lines.append("end")
+    elif kind == 1:
+        window = draw(st.integers(min_value=5, max_value=60))
+        lines = [f"try for {window} seconds every 1 second", inner, "end"]
+    elif kind == 2:
+        items = draw(st.lists(st.sampled_from(("one", "two", "three")),
+                              min_size=1, max_size=3, unique=True))
+        lines = [f"forany it{depth} in {' '.join(items)}", inner, "end"]
+    else:
+        items = draw(st.lists(st.sampled_from(("p", "q", "r")),
+                              min_size=1, max_size=3, unique=True))
+        lines = [f"forall it{depth} in {' '.join(items)}", inner, "end"]
+    return "\n".join(lines)
+
+
+def _statements(draw, depth, max_depth):
+    count = draw(st.integers(min_value=1, max_value=2))
+    parts = []
+    for _ in range(count):
+        if depth < max_depth and draw(st.booleans()):
+            parts.append(_block(draw, depth, max_depth))
+        else:
+            parts.append(_leaf(draw, depth))
+    return "\n".join(parts)
+
+
+@st.composite
+def scripts(draw):
+    max_depth = draw(st.integers(min_value=1, max_value=3))
+    body = _statements(draw, 0, max_depth)
+    return f"v0=seed\n{body}\n"
+
+
+@st.composite
+def failure_patterns(draw):
+    return {name: draw(st.integers(min_value=0, max_value=2))
+            for name in COMMANDS}
+
+
+@given(text=scripts(), fail_first=failure_patterns())
+@settings(max_examples=40, deadline=None)
+def test_compiled_matches_tree_walk(text, fail_first):
+    fail_first = dict(fail_first, cleanup_cmd=0)
+    assert_equivalent(text, fail_first=fail_first)
+
+
+@given(text=scripts(), fail_first=failure_patterns())
+@settings(max_examples=15, deadline=None)
+def test_compiled_matches_tree_walk_with_obs(text, fail_first):
+    assert_equivalent(text, fail_first=fail_first, with_obs=True)
