@@ -8,17 +8,33 @@ and an artifact store through the same framework-agnostic
 The worker protocol (all JSON unless noted)::
 
     POST /queue/claim            {"worker", "lease"?}  -> 200 task
+                                 {"worker", "max", "lease"?}
+                                                       -> 200 {"tasks": [...]}
                                                        |  204 idle
                                                        |  410 drained
     POST /queue/tasks/{id}/ack   {"worker", "result", "source"}
     POST /queue/tasks/{id}/nack  {"worker", "error", "requeue"?}
+    POST /queue/ack_many         {"worker", "acks": [{task_id, result,
+                                  source}]}  -> {"acked": [...], "stale": [...]}
+    POST /queue/nack_many        {"worker", "nacks": [{task_id, error,
+                                  requeue}]} -> {"states": {...}}
     POST /queue/heartbeat        {"worker"}            -> {"extended": n}
-    GET  /queue/status           queue + store counters, task states
+    GET  /queue/status           queue + store + wire counters, task states
+    GET  /payload/{digest}       cached cell payload (text/plain) | 404
     GET  /artifacts/{key}        pickled artifact (octet-stream) | 404
     PUT  /artifacts/{key}        publish a pickled artifact      -> 204
     GET  /healthz                liveness
 
-A claim leases the task for ``lease`` seconds (bounded by the queue
+This is wire-protocol **v2**: a claim carrying ``"max"`` leases up to
+that many tasks in one exchange (each under its *own* per-task lease),
+``ack_many``/``nack_many`` settle whole batches, every batched call
+piggybacks a heartbeat on the worker's other leases, and large cell
+payloads travel by content digest through ``/payload/<digest>`` (see
+:mod:`repro.dist.wire`).  The v1 single-task routes remain served —
+``REPRO_DIST_BATCH=0`` runs the fleet on them — and are the degenerate
+batch of one.
+
+A claim leases each task for ``lease`` seconds (bounded by the queue
 default); ack/nack/heartbeat before the deadline or the task goes back
 on the queue for someone else — at-least-once delivery, the paper's
 retry discipline applied to our own executor.  410 on claim is the
@@ -36,14 +52,19 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Optional
 
-from .queue import QueueError, TaskQueue
-from .wire import WireError, decode_blob
+from ..obs.metrics import MetricsRegistry
+from .queue import QueueError, Task, TaskQueue
+from .wire import PayloadTable, WireError, decode_blob_ex
 
 JSON = "application/json"
 BINARY = "application/octet-stream"
+TEXT = "text/plain"
 
 #: Longest lease a worker may ask for, as a multiple of the queue default.
 MAX_LEASE_FACTOR = 10.0
+
+#: Most tasks a single claim may lease, whatever the worker asks for.
+MAX_CLAIM_BATCH = 64
 
 
 def _dumps(doc: Any) -> bytes:
@@ -58,27 +79,64 @@ def _error(code: str, message: str) -> bytes:
 class CoordinatorApp:
     """Routes worker-protocol requests onto the queue and the store."""
 
-    def __init__(self, queue: TaskQueue, store: Any = None) -> None:
+    def __init__(self, queue: TaskQueue, store: Any = None,
+                 payloads: Optional[PayloadTable] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.queue = queue
         self.store = store
+        self.payloads = payloads
+        # keep_series=False: the coordinator wants counters, not
+        # timestamped series — no reason to drag the sim monitor in.
+        self.metrics = metrics or MetricsRegistry(keep_series=False)
+        self._ops = self.metrics.counter(
+            "dist_worker_ops_total",
+            "claim/ack/nack operations settled, per worker",
+            labels=("worker", "op"))
+        self._http_bytes = self.metrics.counter(
+            "dist_http_bytes_total",
+            "request/response body bytes through the coordinator",
+            labels=("direction",))
+        self._blob_bytes = self.metrics.counter(
+            "dist_blob_bytes_total",
+            "result/payload blob bytes, as shipped vs decompressed",
+            labels=("encoding",))
 
     # ------------------------------------------------------------------
     def handle(self, method: str, target: str,
                body: bytes = b"") -> tuple[int, str, bytes]:
         parts = [part for part in target.split("?")[0].split("/") if part]
+        self._http_bytes.labels(direction="in").inc(len(body))
         try:
-            return self._dispatch(method, parts, body)
+            status, content_type, payload = self._dispatch(
+                method, parts, body)
         except QueueError as exc:
-            return 409, JSON, _error("queue", str(exc))
+            status, content_type, payload = 409, JSON, _error(
+                "queue", str(exc))
         except WireError as exc:
-            return 400, JSON, _error("wire", str(exc))
+            status, content_type, payload = 400, JSON, _error(
+                "wire", str(exc))
         except _BadRequest as exc:
-            return 400, JSON, _error("bad-request", str(exc))
+            status, content_type, payload = 400, JSON, _error(
+                "bad-request", str(exc))
         except Exception as exc:  # noqa: BLE001 - the HTTP 500 boundary
-            return 500, JSON, _error(
+            status, content_type, payload = 500, JSON, _error(
                 "internal", f"{type(exc).__name__}: {exc}")
+        self._http_bytes.labels(direction="out").inc(len(payload))
+        return status, content_type, payload
 
     # ------------------------------------------------------------------
+    def _task_doc(self, task: Task) -> dict[str, Any]:
+        return {
+            "task_id": task.task_id,
+            "attempt": task.attempts,
+            "artifact": task.artifact,
+            "cell": task.payload,
+        }
+
+    def _count_blob(self, text: str, raw: int) -> None:
+        self._blob_bytes.labels(encoding="wire").inc(len(text))
+        self._blob_bytes.labels(encoding="raw").inc(raw)
+
     def _dispatch(self, method: str, parts: list[str],
                   body: bytes) -> tuple[int, str, bytes]:
         if parts == ["healthz"] and method == "GET":
@@ -91,17 +149,24 @@ class CoordinatorApp:
             if lease is not None:
                 lease = min(float(lease),
                             self.queue.lease * MAX_LEASE_FACTOR)
+            if "max" in doc:
+                batch = max(1, min(int(doc["max"]), MAX_CLAIM_BATCH))
+                tasks = self.queue.claim_many(worker, batch, lease=lease)
+                if not tasks:
+                    if self.queue.draining:
+                        return 410, JSON, _error(
+                            "drained", "queue is drained")
+                    return 204, JSON, b""
+                self._ops.labels(worker=worker, op="claim").inc(len(tasks))
+                return 200, JSON, _dumps(
+                    {"tasks": [self._task_doc(task) for task in tasks]})
             task = self.queue.claim(worker, lease=lease)
             if task is None:
                 if self.queue.draining:
                     return 410, JSON, _error("drained", "queue is drained")
                 return 204, JSON, b""
-            return 200, JSON, _dumps({
-                "task_id": task.task_id,
-                "attempt": task.attempts,
-                "artifact": task.artifact,
-                "cell": task.payload,
-            })
+            self._ops.labels(worker=worker, op="claim").inc()
+            return 200, JSON, _dumps(self._task_doc(task))
 
         if (len(parts) == 4 and parts[:2] == ["queue", "tasks"]
                 and method == "POST"):
@@ -109,17 +174,63 @@ class CoordinatorApp:
             doc = _json_body(body)
             worker = _worker_id(doc)
             if action == "ack":
-                result = decode_blob(_require_str(doc, "result"))
+                text = _require_str(doc, "result")
+                result, wire_chars, raw = decode_blob_ex(text)
+                self._count_blob(text, raw)
                 source = str(doc.get("source") or "computed")
                 self.queue.ack(task_id, worker, result=result, source=source)
+                self._ops.labels(worker=worker, op="ack").inc()
                 return 200, JSON, _dumps({"ok": True})
             if action == "nack":
                 error = _require_str(doc, "error")
                 requeue = bool(doc.get("requeue", True))
                 task = self.queue.nack(task_id, worker, error,
                                        requeue=requeue)
+                self._ops.labels(worker=worker, op="nack").inc()
                 return 200, JSON, _dumps(
                     {"ok": True, "state": task.state})
+
+        if parts == ["queue", "ack_many"] and method == "POST":
+            doc = _json_body(body)
+            worker = _worker_id(doc)
+            entries = _require_list(doc, "acks")
+            triples: list[tuple[str, Any, str]] = []
+            rejected: list[str] = []
+            for entry in entries:
+                if not isinstance(entry, dict):
+                    raise _BadRequest("each ack must be an object")
+                task_id = _require_str(entry, "task_id")
+                try:
+                    text = _require_str(entry, "result")
+                    result, _, raw = decode_blob_ex(text)
+                except (WireError, _BadRequest):
+                    # One undecodable result must not void the batch;
+                    # the task stays leased and expires back to pending.
+                    rejected.append(task_id)
+                    continue
+                self._count_blob(text, raw)
+                source = str(entry.get("source") or "computed")
+                triples.append((task_id, result, source))
+            acked, stale = self.queue.ack_many(worker, triples)
+            self._ops.labels(worker=worker, op="ack").inc(len(acked))
+            return 200, JSON, _dumps(
+                {"acked": acked, "stale": stale, "rejected": rejected})
+
+        if parts == ["queue", "nack_many"] and method == "POST":
+            doc = _json_body(body)
+            worker = _worker_id(doc)
+            entries = _require_list(doc, "nacks")
+            triples = []
+            for entry in entries:
+                if not isinstance(entry, dict):
+                    raise _BadRequest("each nack must be an object")
+                triples.append((_require_str(entry, "task_id"),
+                                _require_str(entry, "error"),
+                                bool(entry.get("requeue", True))))
+            states = self.queue.nack_many(worker, triples)
+            settled = sum(1 for state in states.values() if state != "stale")
+            self._ops.labels(worker=worker, op="nack").inc(settled)
+            return 200, JSON, _dumps({"states": states})
 
         if parts == ["queue", "heartbeat"] and method == "POST":
             doc = _json_body(body)
@@ -127,15 +238,17 @@ class CoordinatorApp:
             return 200, JSON, _dumps({"extended": extended})
 
         if parts == ["queue", "status"] and method == "GET":
-            tasks = self.queue.tasks()
-            return 200, JSON, _dumps({
-                "draining": self.queue.draining,
-                "outstanding": self.queue.outstanding(),
-                "stats": self.queue.stats.as_dict(),
-                "store": (self.store.stats()
-                          if self.store is not None else None),
-                "tasks": [task.describe() for task in tasks],
-            })
+            return 200, JSON, _dumps(self._status_doc())
+
+        if len(parts) == 2 and parts[0] == "payload" and method == "GET":
+            if self.payloads is None:
+                return 404, JSON, _error(
+                    "no-payloads", "coordinator has no payload table")
+            text = self.payloads.get(parts[1])
+            if text is None:
+                return 404, JSON, _error(
+                    "miss", f"no payload {parts[1][:12]}...")
+            return 200, TEXT, text.encode("ascii")
 
         if len(parts) == 2 and parts[0] == "artifacts":
             key = parts[1]
@@ -156,6 +269,42 @@ class CoordinatorApp:
 
         return 404, JSON, _error(
             "unknown-route", f"no route {method} /{'/'.join(parts)}")
+
+    # ------------------------------------------------------------------
+    def _status_doc(self) -> dict[str, Any]:
+        """The fleet-dashboard view: queue, leases, workers, wire."""
+        workers: dict[str, dict[str, int]] = {}
+        for child in self._ops.children():
+            labels = child.labels_dict()
+            ops = workers.setdefault(
+                labels["worker"], {"claims": 0, "acks": 0, "nacks": 0})
+            ops[labels["op"] + "s"] = int(child.value)
+
+        def _count(family: Any, **labels: str) -> int:
+            return int(family.labels(**labels).value)
+
+        return {
+            "draining": self.queue.draining,
+            "outstanding": self.queue.outstanding(),
+            "queue": {
+                "depth": self.queue.depth(),
+                "in_flight": self.queue.in_flight(),
+            },
+            "stats": self.queue.stats.as_dict(),
+            "store": (self.store.stats()
+                      if self.store is not None else None),
+            "payloads": (self.payloads.stats()
+                         if self.payloads is not None else None),
+            "workers": workers,
+            "wire": {
+                "in_bytes": _count(self._http_bytes, direction="in"),
+                "out_bytes": _count(self._http_bytes, direction="out"),
+                "blob_wire_bytes": _count(self._blob_bytes,
+                                          encoding="wire"),
+                "blob_raw_bytes": _count(self._blob_bytes, encoding="raw"),
+            },
+            "tasks": [task.describe() for task in self.queue.tasks()],
+        }
 
 
 class _BadRequest(Exception):
@@ -188,6 +337,13 @@ def _require_str(doc: dict[str, Any], field: str) -> str:
     return value
 
 
+def _require_list(doc: dict[str, Any], field: str) -> list[Any]:
+    value = doc.get(field)
+    if not isinstance(value, list):
+        raise _BadRequest(f"field {field!r} must be a list")
+    return value
+
+
 # ---------------------------------------------------------------------------
 # Stdlib skin
 # ---------------------------------------------------------------------------
@@ -195,6 +351,13 @@ def _require_str(doc: dict[str, Any], field: str) -> str:
 class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-dist"
     protocol_version = "HTTP/1.1"
+    # Response headers and body go out as separate writes; with Nagle on,
+    # the body waits ~40ms for the client's delayed ACK — per request.
+    # TCP_NODELAY turns a keep-alive round trip from ~44ms into ~0.3ms.
+    disable_nagle_algorithm = True
+    # Reap keep-alive connections idle this long: a client that parked a
+    # pooled socket and left must not pin a handler thread forever.
+    timeout = 30.0
     app: CoordinatorApp  # set by make_server on the subclass
 
     def _serve(self, method: str) -> None:
@@ -236,12 +399,19 @@ class CoordinatorServer:
     """A served CoordinatorApp with its own thread and lifecycle.
 
     ``with CoordinatorServer(queue, store) as url: ...`` — the pattern
-    both the socket backend and the tests use.
+    both the socket backend and the tests use.  ``start`` may be
+    deferred: the server socket is bound in ``__init__``, so a backend
+    can fork workers against ``url`` *before* the serve thread exists
+    (their connections queue in the listen backlog) and keep the fork
+    single-threaded.
     """
 
     def __init__(self, queue: TaskQueue, store: Any = None,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
-        self.app = CoordinatorApp(queue, store)
+                 host: str = "127.0.0.1", port: int = 0,
+                 payloads: Optional[PayloadTable] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.app = CoordinatorApp(queue, store, payloads=payloads,
+                                  metrics=metrics)
         self.server = make_server(self.app, host=host, port=port)
         bound_host, bound_port = self.server.server_address[:2]
         self.url = f"http://{bound_host}:{bound_port}"
@@ -256,7 +426,10 @@ class CoordinatorServer:
         return self.url
 
     def close(self) -> None:
-        self.server.shutdown()
+        if self._thread is not None:
+            # shutdown() blocks on serve_forever's exit handshake, so
+            # only call it when the serve thread actually ran.
+            self.server.shutdown()
         self.server.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)

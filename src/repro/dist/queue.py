@@ -5,7 +5,12 @@ semantics every backend shares:
 
 * **submit** — tasks enter in submission order and are handed out FIFO;
 * **claim** — a worker takes the next pending task under a *lease*: a
-  deadline by which it must ack, nack, or heartbeat;
+  deadline by which it must ack, nack, or heartbeat.  Batched variants
+  (:meth:`~TaskQueue.claim_many`, :meth:`~TaskQueue.ack_many`,
+  :meth:`~TaskQueue.nack_many`) move whole chunks per call — the wire
+  win — while leases, worker-id guards, and max-attempts bounds stay
+  strictly per-task, and every batched call piggybacks a heartbeat on
+  the worker's other leases;
 * **ack / nack** — terminal outcomes.  An ack stores the result; a nack
   either re-enqueues the task (transient failure) or fails it for good;
 * **heartbeat** — extends every lease a worker holds, so long-running
@@ -192,20 +197,39 @@ class TaskQueue:
         Expired leases are collected on the way in, so a single-threaded
         driver never needs a separate reaper.
         """
+        tasks = self.claim_many(worker, 1, lease=lease)
+        return tasks[0] if tasks else None
+
+    def claim_many(self, worker: str, max_tasks: int,
+                   lease: Optional[float] = None) -> list[Task]:
+        """Hand up to ``max_tasks`` pending tasks to ``worker``, FIFO.
+
+        Each task gets its *own* lease deadline — expiry, re-delivery,
+        and poison bounds remain per-task even when delivery is
+        batched.  The claim also piggybacks a heartbeat: any lease the
+        worker already holds is extended, so a worker busy with a long
+        batch need not make a separate heartbeat call just because it
+        came back for more work.
+        """
         if not worker:
             raise QueueError("claim needs a worker id")
+        if max_tasks < 1:
+            raise QueueError(f"claim batch must be >= 1, got {max_tasks}")
         with self._lock:
             self._reap_locked()
-            if not self._pending:
-                return None
-            task = self._tasks[self._pending.popleft()]
-            task.state = CLAIMED
-            task.worker = worker
-            task.attempts += 1
+            now = self.clock()
+            self._extend_held_locked(worker, now)
             window = self.lease if lease is None else lease
-            task.deadline = self.clock() + window
-            self.stats.claims += 1
-            return task
+            claimed: list[Task] = []
+            while self._pending and len(claimed) < max_tasks:
+                task = self._tasks[self._pending.popleft()]
+                task.state = CLAIMED
+                task.worker = worker
+                task.attempts += 1
+                task.deadline = now + window
+                self.stats.claims += 1
+                claimed.append(task)
+            return claimed
 
     def ack(self, task_id: str, worker: str, result: Any = None,
             source: str = "computed") -> Task:
@@ -241,17 +265,85 @@ class TaskQueue:
                 self._done.notify_all()
             return task
 
+    def ack_many(self, worker: str,
+                 acks: list[tuple[str, Any, str]]
+                 ) -> tuple[list[str], list[str]]:
+        """Complete a batch of claimed tasks: ``(task_id, result,
+        source)`` triples.  Returns ``(acked, stale)`` task-id lists.
+
+        Unlike :meth:`ack`, a stale entry — lease expired mid-batch and
+        the task moved on — is *skipped*, not raised: one slow cell
+        must not void its batchmates' perfectly good results.  The call
+        piggybacks a heartbeat on any lease the worker still holds.
+        """
+        acked: list[str] = []
+        stale: list[str] = []
+        with self._lock:
+            for task_id, result, source in acks:
+                task = self._tasks.get(task_id)
+                if (task is None or task.state != CLAIMED
+                        or task.worker != worker):
+                    stale.append(task_id)
+                    continue
+                task.state = DONE
+                task.result = result
+                task.source = source
+                task.worker = None
+                task.deadline = None
+                self.stats.acks += 1
+                acked.append(task_id)
+            self._extend_held_locked(worker, self.clock())
+            if acked:
+                self._done.notify_all()
+        return acked, stale
+
+    def nack_many(self, worker: str,
+                  nacks: list[tuple[str, str, bool]]) -> dict[str, str]:
+        """Report a batch of failures: ``(task_id, error, requeue)``
+        triples.  Returns each task's resulting state (``"stale"`` for
+        entries the worker no longer holds).  Poison bounds stay
+        per-task: one cell exhausting ``max_attempts`` fails alone,
+        its batchmates re-enqueue as usual.
+        """
+        states: dict[str, str] = {}
+        with self._lock:
+            for task_id, error, requeue in nacks:
+                task = self._tasks.get(task_id)
+                if (task is None or task.state != CLAIMED
+                        or task.worker != worker):
+                    states[task_id] = "stale"
+                    continue
+                task.worker = None
+                task.deadline = None
+                task.error = error
+                self.stats.nacks += 1
+                if requeue and task.attempts < self.max_attempts:
+                    task.state = PENDING
+                    self._pending.append(task.task_id)
+                else:
+                    task.state = FAILED
+                    self._done.notify_all()
+                states[task_id] = task.state
+            self._extend_held_locked(worker, self.clock())
+        return states
+
     def heartbeat(self, worker: str) -> int:
         """Extend every lease ``worker`` holds; returns how many."""
         with self._lock:
-            now = self.clock()
-            extended = 0
-            for task in self._tasks.values():
-                if task.state == CLAIMED and task.worker == worker:
-                    task.deadline = now + self.lease
-                    extended += 1
+            extended = self._extend_held_locked(worker, self.clock())
             self.stats.heartbeats += 1
             return extended
+
+    def _extend_held_locked(self, worker: str, now: float) -> int:
+        """The piggybacked heartbeat: refresh every lease held by
+        ``worker``.  Counted in ``stats.heartbeats`` only when the
+        caller is an explicit heartbeat request."""
+        extended = 0
+        for task in self._tasks.values():
+            if task.state == CLAIMED and task.worker == worker:
+                task.deadline = now + self.lease
+                extended += 1
+        return extended
 
     def _claimed_by(self, task_id: str, worker: str) -> Task:
         task = self._tasks.get(task_id)
@@ -318,6 +410,17 @@ class TaskQueue:
         with self._lock:
             return sum(1 for task in self._tasks.values()
                        if task.state not in TERMINAL)
+
+    def depth(self) -> int:
+        """Tasks waiting to be claimed."""
+        with self._lock:
+            return len(self._pending)
+
+    def in_flight(self) -> int:
+        """Tasks currently out under a lease."""
+        with self._lock:
+            return sum(1 for task in self._tasks.values()
+                       if task.state == CLAIMED)
 
     def finished(self) -> bool:
         with self._lock:

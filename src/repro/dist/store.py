@@ -127,9 +127,16 @@ class HttpArtifactStore:
 
     Keys are assigned by the coordinator (they ride on the task), so
     this class never computes one — ``key_for`` is deliberately absent.
-    Transport failures degrade to misses/no-ops: a worker that cannot
-    reach the store computes the cell itself, exactly the fallback the
-    at-least-once queue expects.
+    Transport failures degrade to misses/no-ops and are *counted*, not
+    raised: a worker that cannot reach the store computes the cell
+    itself and acks it ``source: "computed"`` — exactly the fallback
+    the at-least-once queue expects, and one store outage mid-batch
+    must never poison the rest of the chunk.
+
+    Requests ride the shared keep-alive pool in
+    :mod:`repro.service.http`, so store traffic reuses the worker's
+    coordinator connection instead of opening a fresh socket per
+    artifact.
     """
 
     def __init__(self, url: str, timeout: float = 30.0) -> None:
@@ -141,6 +148,7 @@ class HttpArtifactStore:
         self.timeout = timeout
         self.fetched = 0
         self.published = 0
+        self.errors = 0
 
     def fetch(self, key: str) -> tuple[bool, Any]:
         try:
@@ -148,12 +156,14 @@ class HttpArtifactStore:
                 f"{self.url}/artifacts/{key}", timeout=self.timeout,
                 retries=2)
         except self._transport_error:
+            self.errors += 1
             return False, None
         if response.status != 200:
             return False, None
         try:
             value = pickle.loads(response.body)
         except Exception:  # noqa: BLE001 - corrupt blob is a miss
+            self.errors += 1
             return False, None
         self.fetched += 1
         return True, value
@@ -161,13 +171,18 @@ class HttpArtifactStore:
     def publish(self, key: str, value: Any) -> None:
         blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         try:
-            self._request(
+            response = self._request(
                 f"{self.url}/artifacts/{key}", method="PUT", body=blob,
                 headers={"Content-Type": "application/octet-stream"},
                 timeout=self.timeout)
         except self._transport_error:
+            self.errors += 1
             return  # the ack still carries the result; nothing is lost
+        if response.status not in (200, 204):
+            self.errors += 1
+            return
         self.published += 1
 
     def stats(self) -> dict[str, int]:
-        return {"fetched": self.fetched, "published": self.published}
+        return {"fetched": self.fetched, "published": self.published,
+                "errors": self.errors}

@@ -26,24 +26,53 @@ Serve with ``python -m repro.service``; submit with
 ``python -m repro.service.client`` or ``ftsh --submit URL script.ftsh``.
 """
 
-from .jobs import JobStore
-from .sandbox import SandboxPolicy, SandboxRejection
-from .schemas import (
-    CampaignSubmission,
-    JobResult,
-    JobStatus,
-    SchemaError,
-    ScriptSubmission,
-)
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - static import surface
+    from .client import ServiceClient, ServiceError
+    from .jobs import JobStore
+    from .sandbox import SandboxPolicy, SandboxRejection
+    from .schemas import (
+        CampaignSubmission,
+        JobResult,
+        JobStatus,
+        SchemaError,
+        ScriptSubmission,
+    )
+
+#: Public name -> home submodule, resolved lazily (PEP 562).  The dist
+#: worker imports :mod:`repro.service.http` (stdlib-only) thousands of
+#: times across a fleet; it must not drag the job store + sandbox +
+#: executor stack along.  Lazy client import also keeps
+#: ``python -m repro.service.client`` from tripping runpy's
+#: already-imported warning.
+_EXPORTS = {
+    "JobStore": "jobs",
+    "SandboxPolicy": "sandbox",
+    "SandboxRejection": "sandbox",
+    "CampaignSubmission": "schemas",
+    "JobResult": "schemas",
+    "JobStatus": "schemas",
+    "SchemaError": "schemas",
+    "ScriptSubmission": "schemas",
+    "ServiceClient": "client",
+    "ServiceError": "client",
+}
+
 
 def __getattr__(name: str):
-    """Lazy client import: keeps ``python -m repro.service.client`` from
-    tripping runpy's already-imported warning."""
-    if name in ("ServiceClient", "ServiceError"):
-        from . import client
+    home = _EXPORTS.get(name)
+    if home is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
 
-        return getattr(client, name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(f".{home}", __name__), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))
 
 
 __all__ = [

@@ -5,7 +5,7 @@ import json
 from repro.dist.coordinator import CoordinatorApp
 from repro.dist.queue import TaskQueue
 from repro.dist.store import MemoryArtifactStore
-from repro.dist.wire import encode_blob, encode_cell
+from repro.dist.wire import PayloadTable, encode_blob, encode_cell
 from repro.parallel.executor import CellSpec
 
 
@@ -83,6 +83,113 @@ class TestClaimCycle:
         assert (status, body["extended"]) == (200, 1)
 
 
+class TestBatchedProtocol:
+    """Wire-protocol v2: chunked claims, batched settles, payloads."""
+
+    def submit_squares(self, queue, values):
+        return [queue.submit(encode_cell(
+            CellSpec(key=f"t/sq/{v}", fn=square, args=(v,))),
+            key=f"t/sq/{v}") for v in values]
+
+    def test_claim_with_max_returns_a_chunk(self):
+        app, queue = make_app()
+        tasks = self.submit_squares(queue, [1, 2, 3])
+        status, body = post(app, "/queue/claim", {"worker": "w0", "max": 2})
+        assert status == 200
+        assert [t["task_id"] for t in body["tasks"]] \
+            == [t.task_id for t in tasks[:2]]
+
+    def test_claim_max_is_clamped_by_the_server(self):
+        from repro.dist.coordinator import MAX_CLAIM_BATCH
+
+        app, queue = make_app()
+        self.submit_squares(queue, range(MAX_CLAIM_BATCH + 10))
+        status, body = post(app, "/queue/claim",
+                            {"worker": "greedy", "max": 10_000})
+        assert status == 200
+        assert len(body["tasks"]) == MAX_CLAIM_BATCH
+
+    def test_batched_claim_of_empty_queue_is_204_then_410(self):
+        app, queue = make_app()
+        status, _ = post(app, "/queue/claim", {"worker": "w0", "max": 8})
+        assert status == 204
+        queue.drain()
+        status, _ = post(app, "/queue/claim", {"worker": "w0", "max": 8})
+        assert status == 410
+
+    def test_ack_many_settles_and_reports_stale(self):
+        app, queue = make_app()
+        claimed, unclaimed = self.submit_squares(queue, [4, 5])
+        post(app, "/queue/claim", {"worker": "w0"})
+        status, body = post(app, "/queue/ack_many", {
+            "worker": "w0",
+            "acks": [
+                {"task_id": claimed.task_id,
+                 "result": encode_blob(16), "source": "computed"},
+                {"task_id": unclaimed.task_id,
+                 "result": encode_blob(25), "source": "computed"},
+            ]})
+        assert status == 200
+        assert body == {"acked": [claimed.task_id],
+                        "stale": [unclaimed.task_id], "rejected": []}
+        assert claimed.result == 16
+
+    def test_undecodable_result_is_rejected_not_fatal(self):
+        """The bugfix contract at the HTTP layer: one bad entry is
+        reported in ``rejected`` while its batchmates land."""
+        app, queue = make_app()
+        good, bad = self.submit_squares(queue, [6, 7])
+        post(app, "/queue/claim", {"worker": "w0", "max": 2})
+        status, body = post(app, "/queue/ack_many", {
+            "worker": "w0",
+            "acks": [
+                {"task_id": good.task_id,
+                 "result": encode_blob(36), "source": "computed"},
+                {"task_id": bad.task_id,
+                 "result": "not a blob!!", "source": "computed"},
+            ]})
+        assert status == 200
+        assert body == {"acked": [good.task_id], "stale": [],
+                        "rejected": [bad.task_id]}
+        assert good.result == 36
+        assert bad.state == "claimed"  # lease will expire it back
+
+    def test_nack_many_returns_per_task_states(self):
+        app, queue = make_app()
+        (task,) = self.submit_squares(queue, [8])
+        post(app, "/queue/claim", {"worker": "w0"})
+        status, body = post(app, "/queue/nack_many", {
+            "worker": "w0",
+            "nacks": [{"task_id": task.task_id, "error": "boom",
+                       "requeue": True},
+                      {"task_id": "ghost", "error": "x", "requeue": True}]})
+        assert status == 200
+        assert body["states"] == {task.task_id: "pending", "ghost": "stale"}
+
+    def test_ack_many_requires_a_list(self):
+        app, _ = make_app()
+        status, body = post(app, "/queue/ack_many",
+                            {"worker": "w0", "acks": "nope"})
+        assert status == 400
+        assert body["error"]["code"] == "bad-request"
+
+    def test_payload_endpoint_serves_published_blobs(self):
+        queue = TaskQueue(lease=10.0)
+        payloads = PayloadTable()
+        app = CoordinatorApp(queue, MemoryArtifactStore(), payloads=payloads)
+        digest = payloads.put_text("payload-text")
+        status, content_type, body = app.handle("GET", f"/payload/{digest}")
+        assert (status, content_type) == (200, "text/plain")
+        assert body == b"payload-text"
+        status, _, _ = app.handle("GET", "/payload/" + "0" * 64)
+        assert status == 404
+
+    def test_payload_endpoint_without_table_is_404(self):
+        app, _ = make_app()
+        status, _, _ = app.handle("GET", "/payload/" + "0" * 64)
+        assert status == 404
+
+
 class TestValidationAndStatus:
     def test_missing_worker_is_400(self):
         app, _ = make_app()
@@ -110,6 +217,32 @@ class TestValidationAndStatus:
         assert doc["stats"]["submitted"] == 1
         assert doc["tasks"][0]["key"] == "a"
         assert doc["store"] == {"fetched": 0, "published": 0}
+
+    def test_status_tracks_fleet_and_wire_counters(self):
+        """/status is the fleet dashboard: queue shape, per-worker op
+        counts, and bytes-on-wire raw vs shipped."""
+        app, queue = make_app()
+        spec = CellSpec(key="t/sq/9", fn=square, args=(9,))
+        task = queue.submit(encode_cell(spec), key=spec.key)
+        queue.submit(encode_cell(
+            CellSpec(key="t/sq/10", fn=square, args=(10,))), key="t/sq/10")
+        post(app, "/queue/claim", {"worker": "w0"})
+        post(app, "/queue/ack_many", {
+            "worker": "w0",
+            "acks": [{"task_id": task.task_id,
+                      "result": encode_blob(81), "source": "computed"}]})
+        _, _, payload = app.handle("GET", "/queue/status")
+        doc = json.loads(payload.decode())
+        assert doc["queue"] == {"depth": 1, "in_flight": 0}
+        assert doc["workers"] == {"w0": {"claims": 1, "acks": 1,
+                                         "nacks": 0}}
+        assert doc["wire"]["in_bytes"] > 0
+        assert doc["wire"]["out_bytes"] > 0
+        # One small result blob travelled: plain base64, so wire >= raw
+        # never holds compressed here, but both counters saw it.
+        assert doc["wire"]["blob_wire_bytes"] > 0
+        assert doc["wire"]["blob_raw_bytes"] > 0
+        assert doc["payloads"] is None
 
     def test_healthz(self):
         app, _ = make_app()

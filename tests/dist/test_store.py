@@ -66,4 +66,6 @@ class TestHttpArtifactStore:
         client = HttpArtifactStore("http://127.0.0.1:9", timeout=0.2)
         assert client.fetch("k") == (False, None)
         client.publish("k", 1)  # no-op, no raise
-        assert client.stats() == {"fetched": 0, "published": 0}
+        # Both failures were transport errors: counted, not raised.
+        assert client.stats() == {"fetched": 0, "published": 0,
+                                  "errors": 2}

@@ -1,0 +1,162 @@
+"""The worker loop's batched hot path: chunk sizing, per-cell guards,
+and the store-degradation contract.
+
+``process_batch`` is exercised against stub clients/stores so every
+edge is deterministic; the live-wire paths are covered by the backend
+and determinism suites.
+"""
+
+import pytest
+
+from repro.dist.wire import encode_cell
+from repro.dist.worker import next_batch_size, process_batch
+from repro.parallel.executor import CellSpec
+from repro.service.http import HttpTransportError
+
+
+def square(x):
+    return x * x
+
+
+def boom(x):
+    raise RuntimeError(f"cell exploded on {x}")
+
+
+class StubClient:
+    """Records the settle calls process_batch makes."""
+
+    lease = 30.0
+
+    def __init__(self):
+        self.acked = []
+        self.nacked = []
+        self.heartbeats = 0
+
+    def heartbeat(self):
+        self.heartbeats += 1
+
+    def ack_many(self, acks):
+        self.acked.extend(acks)
+        return []
+
+    def nack_many(self, nacks):
+        self.nacked.extend(nacks)
+
+    def ack(self, task_id, result, source):
+        self.acked.append((task_id, result, source))
+
+    def nack(self, task_id, error, requeue=True):
+        self.nacked.append((task_id, error, requeue))
+
+    def payload(self, digest):
+        raise AssertionError(f"unexpected payload fetch: {digest}")
+
+
+class StubStore:
+    """A store whose fetch/publish behaviour is scripted per test."""
+
+    def __init__(self, contents=None, fetch_raises=None,
+                 publish_raises=None):
+        self.contents = dict(contents or {})
+        self.fetch_raises = fetch_raises
+        self.publish_raises = publish_raises
+        self.published = []
+
+    def fetch(self, key):
+        if self.fetch_raises is not None:
+            raise self.fetch_raises
+        if key in self.contents:
+            return True, self.contents[key]
+        return False, None
+
+    def publish(self, key, value):
+        if self.publish_raises is not None:
+            raise self.publish_raises
+        self.published.append((key, value))
+
+
+def task_doc(task_id, spec, artifact=None):
+    return {"task_id": task_id, "cell": encode_cell(spec),
+            "artifact": artifact}
+
+
+class TestNextBatchSize:
+    def test_cheap_cells_grow_toward_the_cap(self):
+        # 10ms cells against a 0.5s target: 50 would fit, cap is 16.
+        assert next_batch_size(0.08, 8, 16, target=0.5) == 16
+
+    def test_expensive_cells_shrink_to_one(self):
+        assert next_batch_size(4.0, 2, 16, target=0.5) == 1
+
+    def test_moderate_cells_land_in_between(self):
+        # 0.1s cells: five of them fill the 0.5s target.
+        assert next_batch_size(0.4, 4, 16, target=0.5) == 5
+
+    def test_batching_disabled_stays_at_one(self):
+        assert next_batch_size(0.0, 4, 1, target=0.5) == 1
+
+    def test_instant_cells_do_not_divide_by_zero(self):
+        assert next_batch_size(0.0, 4, 16, target=0.5) == 16
+
+
+class TestProcessBatch:
+    def test_mixed_batch_settles_each_cell_on_its_own_terms(self):
+        client = StubClient()
+        store = StubStore(contents={"art-hit": 99})
+        docs = [
+            task_doc("t1", CellSpec(key="hit", fn=square, args=(2,)),
+                     artifact="art-hit"),
+            task_doc("t2", CellSpec(key="compute", fn=square, args=(3,)),
+                     artifact="art-miss"),
+            task_doc("t3", CellSpec(key="crash", fn=boom, args=(1,))),
+            {"task_id": "t4", "cell": {"key": "bad"}},  # undecodable
+        ]
+        outcomes = process_batch(client, store, docs)
+        assert outcomes == {"t1": "store", "t2": "computed",
+                            "t3": "error", "t4": "error"}
+        assert client.acked == [("t1", 99, "store"), ("t2", 9, "computed")]
+        # The crash retries; the wire-bad doc is terminal.
+        assert [(t, r) for t, _e, r in client.nacked] \
+            == [("t3", True), ("t4", False)]
+        assert store.published == [("art-miss", 9)]
+
+    def test_store_transport_failure_degrades_to_computed(self):
+        """The bugfix satellite's regression test: an
+        HttpTransportError from the store mid-batch must not poison the
+        batch — every cell still settles, that cell as ``computed``."""
+        client = StubClient()
+        store = StubStore(
+            fetch_raises=HttpTransportError("http://dead:9", "refused"),
+            publish_raises=HttpTransportError("http://dead:9", "refused"))
+        docs = [
+            task_doc("t1", CellSpec(key="a", fn=square, args=(4,)),
+                     artifact="art-a"),
+            task_doc("t2", CellSpec(key="b", fn=square, args=(5,)),
+                     artifact="art-b"),
+        ]
+        outcomes = process_batch(client, store, docs)
+        assert outcomes == {"t1": "computed", "t2": "computed"}
+        assert client.acked == [("t1", 16, "computed"),
+                                ("t2", 25, "computed")]
+        assert client.nacked == []
+
+    def test_uncacheable_cells_skip_the_store_entirely(self):
+        client = StubClient()
+        store = StubStore(fetch_raises=AssertionError("must not be called"))
+        spec = CellSpec(key="nc", fn=square, args=(6,), cacheable=False)
+        outcomes = process_batch(
+            client, store, [task_doc("t1", spec, artifact="art")])
+        assert outcomes == {"t1": "computed"}
+        assert client.acked == [("t1", 36, "computed")]
+
+    def test_unbatched_mode_settles_per_task(self):
+        client = StubClient()
+        singles = []
+        client.ack = lambda t, r, s: singles.append(("ack", t))
+        client.nack = lambda t, e, requeue=True: singles.append(("nack", t))
+        client.ack_many = lambda acks: pytest.fail("batched verb used")
+        client.nack_many = lambda nacks: pytest.fail("batched verb used")
+        docs = [task_doc("t1", CellSpec(key="a", fn=square, args=(2,))),
+                task_doc("t2", CellSpec(key="b", fn=boom, args=(1,)))]
+        process_batch(client, StubStore(), docs, batched=False)
+        assert singles == [("ack", "t1"), ("nack", "t2")]

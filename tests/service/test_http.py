@@ -1,6 +1,8 @@
-"""The shared HTTP core: retry discipline, backoff shape, long-poll."""
+"""The shared HTTP core: retry discipline, backoff shape, keep-alive
+pooling, long-poll."""
 
 import json
+import random
 import threading
 import time
 
@@ -13,9 +15,11 @@ from repro.service.client import ServiceClient, ServiceError
 from repro.service.http import (
     DEFAULT_BACKOFF,
     DEFAULT_BACKOFF_CAP,
+    HttpConnectionPool,
     HttpTransportError,
     backoff_delay,
     http_request,
+    jittered_delay,
 )
 from repro.service.jobs import JobStore
 from repro.service.sandbox import SandboxPolicy
@@ -42,6 +46,77 @@ class TestBackoffDelay:
     def test_cap_is_a_ceiling(self):
         assert backoff_delay(30) == DEFAULT_BACKOFF_CAP
         assert backoff_delay(0) == DEFAULT_BACKOFF
+
+
+class TestJitteredDelay:
+    def test_draw_is_bounded_by_the_backoff_window(self):
+        rng = random.Random(2003)
+        for attempt in range(8):
+            window = backoff_delay(attempt, base=0.1, cap=1.0)
+            for _ in range(50):
+                draw = jittered_delay(attempt, base=0.1, cap=1.0, rng=rng)
+                assert 0.0 <= draw <= window
+
+    def test_windows_spread_not_collide(self):
+        """Two workers with different rngs must not sleep in lockstep —
+        that is the whole point of the jitter."""
+        a = [jittered_delay(3, rng=random.Random(1)) for _ in range(10)]
+        b = [jittered_delay(3, rng=random.Random(2)) for _ in range(10)]
+        assert a != b
+
+
+class TestConnectionPool:
+    def test_keep_alive_reuses_the_socket(self, service):
+        url, _ = service
+        pool = HttpConnectionPool()
+        for _ in range(5):
+            assert pool.request(url + "/healthz").status == 200
+        assert pool.created == 1
+        assert pool.reused == 4
+
+    def test_stale_idle_connection_replays_free(self, service):
+        """A keep-alive the server reaped mid-idle costs one transparent
+        replay, never a retry from the caller's budget."""
+        import socket as socket_module
+
+        url, _ = service
+        pool = HttpConnectionPool()
+        assert pool.request(url + "/healthz").status == 200
+        # Sabotage the parked connection the way an idle timeout would:
+        # the fd stays open, but the next exchange on it fails.
+        ((key, [conn]),) = list(pool._idle.items())
+        conn.sock.shutdown(socket_module.SHUT_RDWR)
+        sleeps = []
+        response = pool.request(url + "/healthz", retries=0,
+                                sleep=sleeps.append)
+        assert response.status == 200
+        assert sleeps == []  # the replay consumed no retry budget
+        assert pool.created == 2
+
+    def test_dead_idle_socket_is_discarded_at_checkout(self, service):
+        """A parked connection whose socket object was closed outright
+        is skipped for a fresh one, not crashed on."""
+        url, _ = service
+        pool = HttpConnectionPool()
+        assert pool.request(url + "/healthz").status == 200
+        ((key, [conn]),) = list(pool._idle.items())
+        conn.sock.close()
+        assert pool.request(url + "/healthz").status == 200
+        assert pool.created == 2
+        assert pool.reused == 0
+
+    def test_clear_drops_idle_connections(self, service):
+        url, _ = service
+        pool = HttpConnectionPool()
+        pool.request(url + "/healthz")
+        pool.clear()
+        pool.request(url + "/healthz")
+        assert pool.created == 2
+
+    def test_unsupported_scheme_rejected(self):
+        pool = HttpConnectionPool()
+        with pytest.raises(HttpTransportError):
+            pool.request("ftp://example.org/x")
 
 
 class TestHttpRequestRetries:
