@@ -348,10 +348,13 @@ def _forked_worker_main(url: str, worker_id: str, lease: float,
     warm.  The shared HTTP pool cleared itself at fork, so this child
     opens its own coordinator connection.
     """
+    from ..obs.push import resolve_push_url
     from .worker import worker_loop
 
+    # The CLI entry resolves --obs-push/$REPRO_OBS_PUSH; a forked
+    # member skips the CLI, so honour the env opt-in here.
     worker_loop(url, worker_id, poll=_LOCAL_POLL, lease=lease,
-                max_batch=max_batch)
+                max_batch=max_batch, obs_push=resolve_push_url(None))
 
 
 class _FleetMember:

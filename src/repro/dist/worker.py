@@ -46,6 +46,8 @@ import threading
 import time
 from typing import Any, Optional
 
+from ..obs.api import Observability
+from ..obs.push import ObsPusher, resolve_push_url
 from ..parallel.executor import CellSpec
 from ..service.http import (
     HttpTransportError,
@@ -227,6 +229,77 @@ class CoordinatorClient:
         return response.body.decode("ascii")
 
 
+class WorkerTelemetry:
+    """The worker's own registry, pushed to a fleet aggregator.
+
+    The dist fleet dogfooding the paper's thesis: every worker counts
+    its claim outcomes, settled cells, busy/elapsed seconds (the
+    aggregator derives utilisation from exactly that counter pair) and
+    the jittered idle backoffs it actually slept — so fleet contention
+    on the coordinator becomes as measurable as the simulated
+    scenarios.  Pushes are cumulative and best-effort; with no URL,
+    :meth:`disabled` instances keep every call a cheap no-op.
+    """
+
+    def __init__(self, url: Optional[str], worker_id: str) -> None:
+        self.enabled = url is not None
+        if not self.enabled:
+            return
+        self.obs = Observability.wall(keep_series=False)
+        metrics = self.obs.metrics
+        self._claims = metrics.counter(
+            "dist_worker_claims_total", "claim outcomes",
+            labels=("outcome",))
+        self._cells = metrics.counter(
+            "dist_worker_cells_total", "cells settled by result source",
+            labels=("source",))
+        self._busy = metrics.counter(
+            "dist_worker_busy_seconds_total", "seconds executing batches")
+        self._elapsed = metrics.counter(
+            "dist_worker_elapsed_seconds_total",
+            "wall seconds since the loop started")
+        self._backoff = metrics.histogram(
+            "dist_worker_idle_backoff_seconds",
+            "jittered idle backoff sleeps")
+        self._batch = metrics.gauge(
+            "dist_worker_batch_size", "current adaptive chunk size")
+        self._pusher = ObsPusher(
+            url, source=f"worker/{worker_id}",
+            labels={"component": "dist-worker", "worker": worker_id})
+        self._mark = time.perf_counter()
+
+    @classmethod
+    def disabled(cls) -> "WorkerTelemetry":
+        return cls(None, "")
+
+    def claim(self, kind: str) -> None:
+        if self.enabled:
+            self._claims.labels(outcome=kind).inc()
+
+    def idle_sleep(self, seconds: float) -> None:
+        if self.enabled:
+            self._backoff.observe(seconds)
+
+    def batch_done(self, outcomes: dict[str, str], elapsed: float,
+                   next_batch: int) -> None:
+        if not self.enabled:
+            return
+        for source in outcomes.values():
+            self._cells.labels(source=source).inc()
+        self._busy.inc(elapsed)
+        self._batch.set(next_batch)
+        self.push()
+
+    def push(self) -> None:
+        """Advance the elapsed counter and ship current totals."""
+        if not self.enabled:
+            return
+        now = time.perf_counter()
+        self._elapsed.inc(now - self._mark)
+        self._mark = now
+        self._pusher.push(self.obs)
+
+
 def execute_cell(spec: CellSpec) -> Any:
     """Run one decoded cell exactly as the local executor would."""
     from ..parallel.executor import _execute
@@ -333,6 +406,7 @@ def worker_loop(
     say=lambda line: None,
     max_batch: Optional[int] = None,
     rng: Optional[random.Random] = None,
+    obs_push: Optional[str] = None,
 ) -> int:
     """Claim and execute until the queue drains; returns tasks handled."""
     if max_batch is None:
@@ -341,6 +415,7 @@ def worker_loop(
     client = CoordinatorClient(url, worker_id, lease=lease)
     store = HttpArtifactStore(url)
     payloads = PayloadCache()
+    telemetry = WorkerTelemetry(obs_push, worker_id)
     handled = 0
     idle_streak = 0
     batch = 1
@@ -357,6 +432,7 @@ def worker_loop(
             # spinning against a dead socket.
             say(f"coordinator unreachable, exiting: {exc}")
             break
+        telemetry.claim(kind)
         if kind == "drained":
             say("queue drained, exiting")
             break
@@ -367,9 +443,11 @@ def worker_loop(
             # out instead of re-colliding on the coordinator together.
             # Truncated at poll*4: past that the collision pressure is
             # gone and longer naps only delay noticing the drain.
-            time.sleep(poll * 0.25
-                       + jittered_delay(min(idle_streak, 4), base=poll,
-                                        cap=poll * 4, rng=rng))
+            nap = (poll * 0.25
+                   + jittered_delay(min(idle_streak, 4), base=poll,
+                                    cap=poll * 4, rng=rng))
+            telemetry.idle_sleep(nap)
+            time.sleep(nap)
             idle_streak += 1
             continue
         idle_streak = 0
@@ -381,6 +459,8 @@ def worker_loop(
             say(f"task {task_id} [{source}]")
         handled += len(docs)
         batch = next_batch_size(elapsed, len(docs), max_batch)
+        telemetry.batch_done(outcomes, elapsed, batch)
+    telemetry.push()
     return handled
 
 
@@ -400,6 +480,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--max-batch", type=int, default=None,
                         help="cells claimed per exchange ceiling "
                              "(default: $REPRO_DIST_BATCH toggle)")
+    parser.add_argument("--obs-push", default=None, metavar="URL",
+                        help="push worker telemetry to a fleet "
+                             "aggregator (default $REPRO_OBS_PUSH, or "
+                             "off)")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -409,7 +493,8 @@ def main(argv: Optional[list[str]] = None) -> int:
     try:
         handled = worker_loop(
             args.url, worker_id, poll=args.poll, lease=args.lease,
-            max_tasks=args.max_tasks, max_batch=args.max_batch, say=say)
+            max_tasks=args.max_tasks, max_batch=args.max_batch, say=say,
+            obs_push=resolve_push_url(args.obs_push))
     except WorkerError as exc:
         print(f"worker {worker_id}: fatal: {exc}", file=sys.stderr)
         return 1

@@ -44,6 +44,7 @@ from ..grid.httpserver import ReplicaConfig
 from ..grid.storage import BufferConfig
 from ..obs.api import Observability
 from ..obs.exporters import merge_obs_bundles, write_obs_bundle
+from ..obs.push import push_observability, resolve_push_url
 from ..parallel.cache import ResultCache
 from ..parallel.executor import CellSpec, run_cells
 from ..sim.monitor import TimeSeries
@@ -355,9 +356,9 @@ class ChaosReport:
 # Campaign
 # ---------------------------------------------------------------------------
 
-def _cell_obs(obs_dir: Optional[str], discipline: Discipline,
+def _cell_obs(wanted: bool, discipline: Discipline,
               fault: str, scenario: str, intensity: int):
-    if obs_dir is None:
+    if not wanted:
         return None, None
     stem = f"chaos_{fault}_{discipline.name}_i{intensity}"
     obs = Observability(const_labels=discipline.labels(
@@ -377,6 +378,7 @@ def run_cell(
     scale: ChaosScale,
     seed: int,
     obs_dir: Optional[str] = None,
+    obs_push: Optional[str] = None,
 ) -> tuple[float, TimeSeries]:
     """One campaign cell, rebuilt from names so it pickles to workers.
 
@@ -384,22 +386,33 @@ def run_cell(
     Fault specs are regenerated from the class registry rather than
     shipped — their schedules are pure functions of (level, duration),
     so parent and worker always agree.  When ``obs_dir`` is set the
-    cell's telemetry bundle is written here, inside the (possibly
-    worker) process; live telemetry never crosses the process boundary.
+    cell's telemetry bundle is written here; when ``obs_push`` is set
+    the same telemetry is pushed (best-effort) to that fleet
+    aggregator.  Both happen inside the (possibly worker) process; live
+    telemetry never crosses the process boundary.
     """
     scenario = SCENARIOS[scenario_name]
     discipline = by_name(discipline_name)
     duration = scenario.duration(scale)
+    wanted = obs_dir is not None or obs_push is not None
     if fault_name is None or level == 0:
         specs: tuple[FaultSpec, ...] = ()
-        obs, stem = _cell_obs(obs_dir, discipline, "none", scenario_name, 0)
+        obs, stem = _cell_obs(wanted, discipline, "none", scenario_name, 0)
     else:
         specs = FAULT_BY_NAME[fault_name].build(level, duration)
-        obs, stem = _cell_obs(obs_dir, discipline, fault_name,
+        obs, stem = _cell_obs(wanted, discipline, fault_name,
                               scenario_name, level)
     goodput, series = scenario.run(discipline, specs, scale, seed, obs)
     if obs is not None:
-        write_obs_bundle(obs, obs_dir, stem)
+        if obs_dir is not None:
+            write_obs_bundle(obs, obs_dir, stem)
+        if obs_push is not None:
+            # The scenario qualifies the source: baseline cells share a
+            # stem across scenarios (fault "none"), and two cells must
+            # never fold into one aggregator source.
+            push_observability(obs_push, obs,
+                               source=f"chaos/{scenario_name}/{stem}",
+                               clock="sim")
     return goodput, series
 
 
@@ -407,14 +420,17 @@ def campaign_cells(
     scale: ChaosScale,
     seed: int,
     obs_dir: Optional[str] = None,
+    obs_push: Optional[str] = None,
 ) -> list[CellSpec]:
     """Every unique (scenario, discipline, fault, level) measurement.
 
     Baselines come first, one per (scenario, discipline) — shared by
     every fault class that targets the scenario — then the fault cells
-    in report order.  Cells carrying a live telemetry export are not
-    cacheable (their point is the side effect).
+    in report order.  Cells carrying a live telemetry export (a bundle
+    directory or an aggregator push) are not cacheable — their point is
+    the side effect.
     """
+    plain = obs_dir is None and obs_push is None
     specs: list[CellSpec] = []
     seen_baselines: set[tuple[str, str]] = set()
     for fault_class in FAULT_CLASSES:
@@ -427,8 +443,8 @@ def campaign_cells(
                 key=f"chaos/{fault_class.scenario}/baseline/{discipline.name}",
                 fn=run_cell,
                 args=(fault_class.scenario, discipline.name, None, 0,
-                      scale, seed, obs_dir),
-                cacheable=obs_dir is None,
+                      scale, seed, obs_dir, obs_push),
+                cacheable=plain,
             ))
     for fault_class in FAULT_CLASSES:
         for level in scale.levels:
@@ -437,8 +453,9 @@ def campaign_cells(
                     key=f"chaos/{fault_class.name}/i{level}/{discipline.name}",
                     fn=run_cell,
                     args=(fault_class.scenario, discipline.name,
-                          fault_class.name, level, scale, seed, obs_dir),
-                    cacheable=obs_dir is None,
+                          fault_class.name, level, scale, seed, obs_dir,
+                          obs_push),
+                    cacheable=plain,
                 ))
     return specs
 
@@ -451,6 +468,7 @@ def run_chaos_campaign(
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     backend: Optional[str] = None,
+    obs_push: Optional[str] = None,
 ) -> ChaosReport:
     """Sweep every fault class x intensity x discipline; build the report.
 
@@ -462,7 +480,7 @@ def run_chaos_campaign(
     """
     say = progress if progress is not None else (lambda _line: None)
 
-    specs = campaign_cells(scale, seed, obs_dir=obs_dir)
+    specs = campaign_cells(scale, seed, obs_dir=obs_dir, obs_push=obs_push)
     results = run_cells(
         specs, jobs=jobs, cache=cache, backend=backend,
         progress=lambda key, status: (say(f"  {key} [{status}]")
@@ -609,6 +627,11 @@ def main(argv=None) -> int:
         help="write per-cell telemetry bundles (Chrome trace, spans "
              "JSONL, Prometheus text) into DIR",
     )
+    parser.add_argument(
+        "--obs-push", default=None, metavar="URL",
+        help="push per-cell telemetry to a fleet aggregator "
+             "(see repro.obs.aggregator; default $REPRO_OBS_PUSH, or off)",
+    )
     args = parser.parse_args(argv)
 
     scale = SCALES[args.scale]
@@ -617,7 +640,8 @@ def main(argv=None) -> int:
     started = time.time()
     report = run_chaos_campaign(
         scale, seed=args.seed, obs_dir=args.obs_dir, progress=print,
-        jobs=args.jobs, cache=cache, backend=args.backend)
+        jobs=args.jobs, cache=cache, backend=args.backend,
+        obs_push=resolve_push_url(args.obs_push))
     if cache is not None:
         print(f"cache: {cache.hits} hits, {cache.misses} misses "
               f"({cache.root})")

@@ -32,6 +32,7 @@ from ..obs.exporters import (
     prometheus_text,
     spans_jsonl,
 )
+from ..obs.push import push_observability, resolve_push_url
 from ..obs.report import render_report
 from ..parallel.cache import ResultCache
 from ..parallel.executor import CellSpec, run_cells
@@ -96,7 +97,8 @@ SCALES = {
 
 
 def _observability_cell(discipline_name: str, n_clients: int,
-                        duration: float, seed: int) -> dict[str, str]:
+                        duration: float, seed: int,
+                        obs_push: str | None = None) -> dict[str, str]:
     """One fully-instrumented exemplar submission run (worker-safe).
 
     The telemetry is rendered to text *inside* the cell — a live
@@ -105,7 +107,9 @@ def _observability_cell(discipline_name: str, n_clients: int,
     writing files is what closes the socket-backend gap: the bundle
     rides the queue/artifact store back to the coordinator like any
     other cell result, so a worker that does not share a filesystem
-    with ``--obs-dir`` still contributes its telemetry.
+    with ``--obs-dir`` still contributes its telemetry.  ``obs_push``
+    additionally ships the live telemetry to a fleet aggregator,
+    best-effort, from inside the cell for the same reason.
     """
     discipline = by_name(discipline_name)
     obs = Observability(const_labels=discipline.labels(scenario="submit"))
@@ -118,6 +122,9 @@ def _observability_cell(discipline_name: str, n_clients: int,
     )
     run_submission(params)
     stem = f"submit_{discipline.name}"
+    if obs_push is not None:
+        push_observability(obs_push, obs, source=f"runall/{stem}",
+                           clock="sim")
     trace = chrome_trace_json(obs.tracer) + "\n"
     spans = spans_jsonl(obs.tracer)
     return {
@@ -130,12 +137,13 @@ def _observability_cell(discipline_name: str, n_clients: int,
 
 
 def write_observability(
-    obs_dir: str,
+    obs_dir: str | None,
     n_clients: int,
     duration: float,
     seed: int = 2003,
     jobs: int | None = None,
     backend: str | None = None,
+    obs_push: str | None = None,
 ) -> list[str]:
     """Fully-instrumented exemplar runs, one per discipline.
 
@@ -146,26 +154,32 @@ def write_observability(
     bundles as text (shipped back through whichever ``backend`` ran
     them, including socket workers on another filesystem); the parent
     writes them under ``obs_dir`` and merges them into one
-    ``combined.*`` bundle.  Returns the paths written.
+    ``combined.*`` bundle.  With ``obs_push`` each cell also ships its
+    live telemetry to a fleet aggregator; ``obs_dir=None`` pushes
+    without writing files.  Returns the paths written.
     """
-    os.makedirs(obs_dir, exist_ok=True)
+    if obs_dir is not None:
+        os.makedirs(obs_dir, exist_ok=True)
     cells = [
         CellSpec(
             key=f"obs/{discipline.name}",
             fn=_observability_cell,
-            args=(discipline.name, n_clients, duration, seed),
+            args=(discipline.name, n_clients, duration, seed, obs_push),
             cacheable=False,
         )
         for discipline in ALL_DISCIPLINES
     ]
-    paths = []
+    paths: list[str] = []
     for bundle in run_cells(cells, jobs=jobs, backend=backend):
+        if obs_dir is None:
+            continue
         for filename, contents in sorted(bundle.items()):
             path = os.path.join(obs_dir, filename)
             with open(path, "w", encoding="utf-8") as handle:
                 handle.write(contents)
             paths.append(path)
-    paths.extend(merge_obs_bundles(obs_dir))
+    if obs_dir is not None:
+        paths.extend(merge_obs_bundles(obs_dir))
     return paths
 
 
@@ -238,6 +252,12 @@ def main(argv=None) -> int:
         "--obs-dir", default=None, metavar="DIR",
         help="also run one instrumented submission per discipline and "
              "write Chrome traces, span logs and Prometheus text there",
+    )
+    parser.add_argument(
+        "--obs-push", default=None, metavar="URL",
+        help="push the instrumented runs' telemetry to a fleet "
+             "aggregator (see repro.obs.aggregator; default "
+             "$REPRO_OBS_PUSH, or off)",
     )
     args = parser.parse_args(argv)
 
@@ -365,7 +385,8 @@ def main(argv=None) -> int:
         f"collisions={fig7.run.collisions} deferrals={fig7.run.deferrals}"
     )
 
-    if args.obs_dir:
+    push_url = resolve_push_url(args.obs_push)
+    if args.obs_dir or push_url:
         print("Telemetry: instrumented submission runs ...")
         for path in write_observability(
             args.obs_dir,
@@ -374,9 +395,11 @@ def main(argv=None) -> int:
             seed=args.seed,
             jobs=args.jobs,
             backend=args.backend,
+            obs_push=push_url,
         ):
             print(f"  wrote {path}")
-        summary.append(f"telemetry: {args.obs_dir}")
+        if args.obs_dir:
+            summary.append(f"telemetry: {args.obs_dir}")
 
     elapsed = time.time() - started
     if cache is not None:

@@ -21,6 +21,12 @@ Pieces:
   :mod:`repro.core.analysis`.
 * :class:`Observability` — the bundle everything accepts; pass
   :data:`NULL_OBS` (the default everywhere) for zero-cost no-ops.
+* :mod:`repro.obs.aggregator` / :mod:`repro.obs.push` /
+  :mod:`repro.obs.dashboard` — live fleet observability: many
+  concurrent runs push batched telemetry to one
+  :class:`FleetAggregator` (mounted on the service plane or
+  standalone), which folds it into per-resource utilisation,
+  collision rates and backoff distributions served at ``/obs/fleet``.
 """
 
 from .api import NULL_OBS, NullObservability, Observability
@@ -55,6 +61,27 @@ from .spans import (
 )
 
 
+#: Fleet-observability names resolved lazily: aggregator/push/dashboard
+#: import repro.service.http, and eagerly importing them here would tie
+#: a cycle through the service package (whose app imports repro.obs).
+_FLEET_EXPORTS = {
+    "FleetAggregator": "aggregator",
+    "make_obs_server": "aggregator",
+    "merge_histograms": "aggregator",
+    "ObsPusher": "push",
+    "encode_batch": "push",
+    "observability_records": "push",
+    "push_observability": "push",
+    "resolve_push_url": "push",
+    "fetch_snapshot": "dashboard",
+    "render_fleet_html": "dashboard",
+    "render_fleet_text": "dashboard",
+}
+
+_FLEET_ALIASES = {"render_fleet_html": "render_html",
+                  "render_fleet_text": "render_text"}
+
+
 def __getattr__(name: str):
     # Deferred so `python -m repro.obs.report` doesn't import the report
     # module twice (once via this package, once as __main__).
@@ -62,18 +89,26 @@ def __getattr__(name: str):
         from . import report
 
         return getattr(report, name)
+    module_name = _FLEET_EXPORTS.get(name)
+    if module_name is not None:
+        import importlib
+
+        module = importlib.import_module(f".{module_name}", __name__)
+        return getattr(module, _FLEET_ALIASES.get(name, name))
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
     "Clock",
     "DEFAULT_BUCKETS",
+    "FleetAggregator",
     "MetricsRegistry",
     "NULL_METRICS",
     "NULL_OBS",
     "NULL_TRACER",
     "NullObservability",
     "NullTracer",
+    "ObsPusher",
     "Observability",
     "Span",
     "STATUS_CANCELLED",
@@ -84,10 +119,19 @@ __all__ = [
     "Tracer",
     "chrome_trace_events",
     "chrome_trace_json",
+    "encode_batch",
     "engine_clock",
+    "fetch_snapshot",
+    "make_obs_server",
+    "merge_histograms",
+    "observability_records",
     "prometheus_text",
+    "push_observability",
     "read_spans_jsonl",
+    "render_fleet_html",
+    "render_fleet_text",
     "render_report",
+    "resolve_push_url",
     "sample_gauges",
     "span_stats",
     "spans_jsonl",

@@ -226,7 +226,13 @@ class MetricFamily:
 
     def children(self) -> Iterator[_Child]:
         """All children, sorted by label values for stable export."""
-        return iter(sorted(self._children.values(), key=lambda c: c.label_values))
+        # Snapshot under the registry lock: exports run concurrently
+        # with threads creating new label children (the service plane
+        # serialises its own live registry), and iterating the dict
+        # bare would race those inserts.
+        with self.registry._lock:
+            snapshot = list(self._children.values())
+        return iter(sorted(snapshot, key=lambda c: c.label_values))
 
     # -- no-label proxies ------------------------------------------------
     def _sole(self) -> Any:
@@ -320,7 +326,8 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     def families(self) -> list[MetricFamily]:
         """All families, name-sorted (the export order)."""
-        return [self._families[name] for name in sorted(self._families)]
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
 
     def get(self, name: str) -> Optional[MetricFamily]:
         return self._families.get(name)

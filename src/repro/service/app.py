@@ -21,6 +21,8 @@ Endpoints::
     DELETE /jobs/{id}         cancel
     GET    /healthz           liveness + job counts
     GET    /metricsz          Prometheus text exposition
+    POST   /obs/ingest        fleet telemetry push (batched JSONL) -> 202
+    GET    /obs/fleet         aggregated fleet snapshot (JSON)
 
 Errors are ``{"error": {"code", "message", "details"}}`` — sandbox
 rejections map to 422 with the lint diagnostics in ``details``, schema
@@ -35,6 +37,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Optional
 from urllib.parse import parse_qs, urlsplit
 
+from ..obs.aggregator import FleetAggregator
 from ..obs.exporters import prometheus_text
 from .jobs import JobStore, NotFinished, UnknownJob
 from .sandbox import SandboxRejection
@@ -67,8 +70,11 @@ def _error(code: str, message: str,
 class ServiceApp:
     """Route table + handlers; everything a skin needs, nothing more."""
 
-    def __init__(self, store: JobStore) -> None:
+    def __init__(self, store: JobStore,
+                 aggregator: Optional[FleetAggregator] = None) -> None:
         self.store = store
+        self.aggregator = aggregator if aggregator is not None \
+            else FleetAggregator()
         metrics = store.obs.metrics
         self._m_requests = metrics.counter(
             "service_requests_total", "HTTP requests served",
@@ -161,6 +167,12 @@ class ServiceApp:
                     return 200, JSON, _dumps(
                         self.store.cancel(job_id).to_jsonable())
 
+        if head == "obs":
+            if method == "POST" and parts == ["obs", "ingest"]:
+                return 202, JSON, _dumps(dict(self.aggregator.ingest(body)))
+            if method == "GET" and parts == ["obs", "fleet"]:
+                return 200, JSON, _dumps(self.aggregator.snapshot())
+
         if method == "GET" and parts == ["healthz"]:
             jobs = self.store.jobs()
             by_state: dict[str, int] = {}
@@ -251,17 +263,22 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 def make_server(store: JobStore, host: str = "127.0.0.1",
-                port: int = 0) -> ThreadingHTTPServer:
+                port: int = 0,
+                aggregator: Optional[FleetAggregator] = None,
+                ) -> ThreadingHTTPServer:
     """A ready-to-serve ThreadingHTTPServer bound to ``host:port``.
 
     ``port=0`` picks a free port (read it back from
     ``server.server_address``).  The caller owns both lifecycles:
     ``server.serve_forever()`` / ``shutdown()`` and ``store.close()``.
+    The app's :class:`~repro.obs.aggregator.FleetAggregator` (default
+    or ``aggregator``) is exposed as ``server.fleet_aggregator``.
     """
-    app = ServiceApp(store)
+    app = ServiceApp(store, aggregator=aggregator)
     handler = type("Handler", (_Handler,), {"app": app})
     server = ThreadingHTTPServer((host, port), handler)
     server.daemon_threads = True
+    server.fleet_aggregator = app.aggregator  # type: ignore[attr-defined]
     return server
 
 

@@ -1,0 +1,109 @@
+"""merge_obs_bundles edge cases: empty dirs, id reuse, skewed clocks.
+
+Worker processes each run their own Tracer, so span ids restart at 1
+in every bundle and sim clocks are not mutually ordered.  The merge
+must keep those bundles distinguishable (one chrome pid per bundle)
+and must not reorder, dedupe, or renumber anything.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.api import Observability
+from repro.obs.exporters import (
+    merge_obs_bundles,
+    read_spans_jsonl,
+    write_obs_bundle,
+)
+
+
+def make_obs(spans, const_labels=None):
+    """An Observability with the given (name, start, end) command spans."""
+    obs = Observability(const_labels=const_labels)
+    clock = {"now": 0.0}
+    obs.set_clock(lambda: clock["now"])
+    for name, start, end in spans:
+        clock["now"] = start
+        span = obs.tracer.start(name, "command")
+        clock["now"] = end
+        obs.tracer.finish(span)
+    obs.metrics.counter("cell_done_total").inc()
+    return obs
+
+
+class TestEmpty:
+    def test_empty_directory_merges_to_nothing(self, tmp_path):
+        assert merge_obs_bundles(str(tmp_path)) == []
+        assert list(tmp_path.iterdir()) == []
+
+    def test_only_a_stale_combined_bundle_is_not_a_source(self, tmp_path):
+        # A previous merge's own output must not be re-merged as input.
+        write_obs_bundle(make_obs([("a", 0.0, 1.0)]), str(tmp_path),
+                         "combined")
+        assert merge_obs_bundles(str(tmp_path)) == []
+
+    def test_bundle_with_no_spans_still_merges_prom(self, tmp_path):
+        write_obs_bundle(make_obs([]), str(tmp_path), "cell")
+        written = merge_obs_bundles(str(tmp_path))
+        names = {p.rsplit("/", 1)[-1] for p in written}
+        assert "combined.prom" in names
+        merged = read_spans_jsonl(str(tmp_path / "combined.spans.jsonl"))
+        assert merged == []
+
+
+class TestDuplicateSpanIds:
+    def test_bundles_reusing_span_ids_stay_distinct(self, tmp_path):
+        # Two workers, both starting their Tracer at span_id 1.
+        write_obs_bundle(make_obs([("alpha", 0.0, 1.0)]),
+                         str(tmp_path), "w0")
+        write_obs_bundle(make_obs([("beta", 0.0, 2.0)]),
+                         str(tmp_path), "w1")
+        merge_obs_bundles(str(tmp_path))
+
+        merged = read_spans_jsonl(str(tmp_path / "combined.spans.jsonl"))
+        assert [s.name for s in merged] == ["alpha", "beta"]
+        assert [s.span_id for s in merged] == [1, 1]
+
+        events = json.loads((tmp_path / "combined.trace.json").read_text())
+        by_name = {e["name"]: e["pid"] for e in events
+                   if e.get("ph") == "X"}
+        # Same id, different bundle: separated by pid, never collapsed.
+        assert by_name["alpha"] != by_name["beta"]
+
+    def test_prom_headers_dedup_but_samples_survive(self, tmp_path):
+        write_obs_bundle(make_obs([], {"cell": "a"}), str(tmp_path), "w0")
+        write_obs_bundle(make_obs([], {"cell": "b"}), str(tmp_path), "w1")
+        merge_obs_bundles(str(tmp_path))
+        text = (tmp_path / "combined.prom").read_text()
+        assert text.count("# TYPE cell_done_total counter") == 1
+        assert text.count('cell="a"') == 1
+        assert text.count('cell="b"') == 1
+
+
+class TestInterleavedClocks:
+    def test_worker_clock_skew_preserved_in_bundle_order(self, tmp_path):
+        # Worker clocks interleave: w0's second span starts after w1's
+        # first.  The merge keeps bundle order (all of w0, then all of
+        # w1) and leaves timestamps untouched — it must not attempt a
+        # global sort across unsynchronised clocks.
+        write_obs_bundle(make_obs([("w0_early", 0.0, 1.0),
+                                   ("w0_late", 5.0, 6.0)]),
+                         str(tmp_path), "w0")
+        write_obs_bundle(make_obs([("w1_mid", 2.0, 3.0)]),
+                         str(tmp_path), "w1")
+        merge_obs_bundles(str(tmp_path))
+        merged = read_spans_jsonl(str(tmp_path / "combined.spans.jsonl"))
+        assert [s.name for s in merged] == ["w0_early", "w0_late", "w1_mid"]
+        assert [s.start for s in merged] == [0.0, 5.0, 2.0]
+        assert merged[1].end == pytest.approx(6.0)
+
+    def test_remerge_after_new_bundle_is_idempotent(self, tmp_path):
+        write_obs_bundle(make_obs([("a", 0.0, 1.0)]), str(tmp_path), "w0")
+        merge_obs_bundles(str(tmp_path))
+        write_obs_bundle(make_obs([("b", 0.0, 1.0)]), str(tmp_path), "w1")
+        merge_obs_bundles(str(tmp_path))
+        merged = read_spans_jsonl(str(tmp_path / "combined.spans.jsonl"))
+        # The second merge rebuilt from the two source bundles only —
+        # the stale combined output never fed back into itself.
+        assert [s.name for s in merged] == ["a", "b"]
